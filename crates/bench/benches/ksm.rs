@@ -1,0 +1,90 @@
+//! Criterion benchmarks of KSM operations (paper §4.3): PTP declaration,
+//! PTE-update validation, CR3 validation, and A/D propagation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cki_core::Ksm;
+use sim_hw::{HwExtensions, Machine};
+use sim_mem::{pte, Segment, PAGE_SIZE};
+
+fn setup() -> (Machine, Ksm, Segment) {
+    let mut m = Machine::new(1 << 30, HwExtensions::cki());
+    let base = m.frames.alloc_contiguous(16 * 1024).unwrap();
+    let seg = Segment { start: base, end: base + 16 * 1024 * PAGE_SIZE };
+    let ksm = Ksm::new(&mut m, seg, 2, 3);
+    (m, ksm, seg)
+}
+
+fn bench_declare_undeclare(c: &mut Criterion) {
+    let (mut m, mut ksm, seg) = setup();
+    let pa = seg.start + 64 * PAGE_SIZE;
+    c.bench_function("ksm/declare_undeclare_ptp", |b| {
+        b.iter(|| {
+            ksm.declare_ptp(&mut m, pa, 1).unwrap();
+            ksm.undeclare_ptp(&mut m, pa).unwrap();
+            black_box(ksm.stats.declares)
+        })
+    });
+}
+
+fn bench_pte_update(c: &mut Criterion) {
+    let (mut m, mut ksm, seg) = setup();
+    let ptp = seg.start + 64 * PAGE_SIZE;
+    ksm.declare_ptp(&mut m, ptp, 1).unwrap();
+    let data = seg.start + 65 * PAGE_SIZE;
+    let entry = pte::make(data, pte::P | pte::W | pte::U | pte::NX);
+    let mut idx = 0usize;
+    c.bench_function("ksm/update_pte_validated", |b| {
+        b.iter(|| {
+            idx = (idx + 1) % 512;
+            black_box(ksm.update_pte(&mut m, ptp, idx, entry).unwrap())
+        })
+    });
+}
+
+fn bench_pte_update_rejected(c: &mut Criterion) {
+    let (mut m, mut ksm, seg) = setup();
+    let ptp = seg.start + 64 * PAGE_SIZE;
+    ksm.declare_ptp(&mut m, ptp, 1).unwrap();
+    // Kernel-executable mapping: always rejected.
+    let evil = pte::make(seg.start + 66 * PAGE_SIZE, pte::P | pte::W);
+    c.bench_function("ksm/update_pte_rejected", |b| {
+        b.iter(|| black_box(ksm.update_pte(&mut m, ptp, 3, evil).unwrap_err()))
+    });
+}
+
+fn bench_cr3_load(c: &mut Criterion) {
+    let (mut m, mut ksm, seg) = setup();
+    let root = seg.start + 70 * PAGE_SIZE;
+    ksm.declare_ptp(&mut m, root, 4).unwrap();
+    let mut v = 0u32;
+    c.bench_function("ksm/load_cr3_pervcpu", |b| {
+        b.iter(|| {
+            v = (v + 1) % 2;
+            black_box(ksm.load_cr3(&mut m, root, v).unwrap())
+        })
+    });
+}
+
+fn bench_ad_propagation(c: &mut Criterion) {
+    let (mut m, mut ksm, seg) = setup();
+    let root = seg.start + 80 * PAGE_SIZE;
+    ksm.declare_ptp(&mut m, root, 4).unwrap();
+    let l3 = seg.start + 81 * PAGE_SIZE;
+    ksm.declare_ptp(&mut m, l3, 3).unwrap();
+    ksm.update_pte(&mut m, root, 7, pte::make(l3, pte::P | pte::W | pte::U)).unwrap();
+    c.bench_function("ksm/read_root_pte_ad_merge", |b| {
+        b.iter(|| black_box(ksm.read_root_pte(&mut m, root, 7).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_declare_undeclare,
+    bench_pte_update,
+    bench_pte_update_rejected,
+    bench_cr3_load,
+    bench_ad_propagation
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates Figure 2: CVE classification.
+use cki_bench::experiments;
+
+fn main() {
+    let m = experiments::fig02();
+    print!("{}", m.render());
+    m.save_tsv(std::path::Path::new("results/fig02.tsv"));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 4: motivation, memory-intensive latency.
+use cki_bench::{experiments, Scale};
+
+fn main() {
+    let m = experiments::fig04(Scale::from_env());
+    print!("{}", m.normalized_to("RunC-BM").render());
+    m.save_tsv(std::path::Path::new("results/fig04.tsv"));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: motivation, I/O-intensive throughput.
+use cki_bench::{experiments, Scale};
+
+fn main() {
+    let m = experiments::fig05(Scale::from_env());
+    print!("{}", m.normalized_to("RunC-BM").render());
+    m.save_tsv(std::path::Path::new("results/fig05.tsv"));
+}

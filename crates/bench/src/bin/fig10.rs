@@ -1,0 +1,13 @@
+//! Regenerates Figure 10: page-fault breakdown and syscall ablations.
+use cki_bench::{experiments, Scale};
+
+fn main() {
+    let a = experiments::fig10a(Scale::from_env());
+    print!("{}", a.render());
+    a.save_tsv(std::path::Path::new("results/fig10a.tsv"));
+    println!("paper totals: HVM-NST 32565, HVM-BM 3257, PVM 4407, CKI 1067, RunC ~1000 ns");
+    let b = experiments::fig10b();
+    print!("{}", b.render());
+    b.save_tsv(std::path::Path::new("results/fig10b.tsv"));
+    println!("paper: RunC/HVM/CKI ~90, CKI-wo-OPT3 153, CKI-wo-OPT2 238, PVM 336 ns");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 11: lmbench.
+use cki_bench::{experiments, Scale};
+
+fn main() {
+    let m = experiments::fig11(Scale::from_env());
+    print!("{}", m.normalized_to("RunC").render());
+    m.save_tsv(std::path::Path::new("results/fig11.tsv"));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 13: overhead vs BTree ratio / XSBench particles.
+use cki_bench::{experiments, Scale};
+
+fn main() {
+    let a = experiments::fig13a(Scale::from_env());
+    print!("{}", a.render());
+    a.save_tsv(std::path::Path::new("results/fig13a.tsv"));
+    let b = experiments::fig13b(Scale::from_env());
+    print!("{}", b.render());
+    b.save_tsv(std::path::Path::new("results/fig13b.tsv"));
+    println!("paper: overhead falls with more lookups/particles; CKI stays low throughout");
+}

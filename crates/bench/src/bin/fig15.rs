@@ -1,0 +1,9 @@
+//! Regenerates Figure 15: CKI syscall-optimization breakdown on SQLite.
+use cki_bench::{experiments, Scale};
+
+fn main() {
+    let m = experiments::fig15(Scale::from_env());
+    print!("{}", m.render());
+    m.save_tsv(std::path::Path::new("results/fig15.tsv"));
+    println!("paper %: PVM 24/1/23/22/22/1/0; wo-OPT2 15/1/15/13/12/1/1; wo-OPT3 9/0/8/5/6/0/0");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 16: KV throughput vs clients.
+use cki_bench::{experiments, Scale};
+
+fn main() {
+    let m = experiments::fig16(Scale::from_env());
+    print!("{}", m.render());
+    m.save_tsv(std::path::Path::new("results/fig16.tsv"));
+    println!("paper: CKI-NST 6.8x HVM-NST (memcached) / 2.0x (redis); 1.8x/1.4x PVM-BM; 1.5x/1.3x PVM-NST");
+}

@@ -1,0 +1,74 @@
+//! Runs every table/figure regenerator and writes results/ + a summary.
+use cki_bench::{experiments, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let out = std::path::Path::new("results");
+    let t = std::time::Instant::now();
+
+    let m = experiments::fig02();
+    print!("{}", m.render());
+    m.save_tsv(&out.join("fig02.tsv"));
+
+    let m = experiments::table2(scale);
+    print!("{}", m.render());
+    m.save_tsv(&out.join("table2.tsv"));
+
+    let m = experiments::table3();
+    print!("{}", m.render());
+    m.save_tsv(&out.join("table3.tsv"));
+
+    let m = experiments::fig04(scale);
+    print!("{}", m.normalized_to("RunC-BM").render());
+    m.save_tsv(&out.join("fig04.tsv"));
+
+    let m = experiments::fig05(scale);
+    print!("{}", m.normalized_to("RunC-BM").render());
+    m.save_tsv(&out.join("fig05.tsv"));
+
+    let m = experiments::fig10a(scale);
+    print!("{}", m.render());
+    m.save_tsv(&out.join("fig10a.tsv"));
+    let m = experiments::fig10b();
+    print!("{}", m.render());
+    m.save_tsv(&out.join("fig10b.tsv"));
+
+    let m = experiments::fig11(scale);
+    print!("{}", m.normalized_to("RunC").render());
+    m.save_tsv(&out.join("fig11.tsv"));
+
+    let m = experiments::fig12(scale);
+    print!("{}", m.normalized_to("RunC").render());
+    m.save_tsv(&out.join("fig12.tsv"));
+
+    let m = experiments::fig13a(scale);
+    print!("{}", m.render());
+    m.save_tsv(&out.join("fig13a.tsv"));
+    let m = experiments::fig13b(scale);
+    print!("{}", m.render());
+    m.save_tsv(&out.join("fig13b.tsv"));
+
+    let m = experiments::table4(scale);
+    print!("{}", m.normalized_to("RunC-BM").render());
+    m.save_tsv(&out.join("table4.tsv"));
+
+    let (tput, rate) = experiments::fig14(scale);
+    print!("{}", tput.normalized_to("RunC").render());
+    print!("{}", rate.render());
+    tput.save_tsv(&out.join("fig14_tput.tsv"));
+    rate.save_tsv(&out.join("fig14_rate.tsv"));
+
+    let m = experiments::fig15(scale);
+    print!("{}", m.render());
+    m.save_tsv(&out.join("fig15.tsv"));
+
+    let m = experiments::fig16(scale);
+    print!("{}", m.render());
+    m.save_tsv(&out.join("fig16.tsv"));
+
+    let m = experiments::table5();
+    print!("{}", m.render());
+    m.save_tsv(&out.join("table5.tsv"));
+
+    println!("\nall experiments done in {:.1}s (wall clock); TSVs in results/", t.elapsed().as_secs_f64());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 2: container performance on microbenchmarks (ns).
+use cki_bench::{experiments, Scale};
+
+fn main() {
+    let m = experiments::table2(Scale::from_env());
+    print!("{}", m.render());
+    m.save_tsv(std::path::Path::new("results/table2.tsv"));
+    println!("paper: syscall 93/91/336/91/336/90; pgfault 1000/3257/4407/32565/-/1067; hypercall -/1088/466/6746/486/390");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 3: the privileged-instruction policy, verified live.
+use cki_bench::experiments;
+
+fn main() {
+    let m = experiments::table3();
+    print!("{}", m.render());
+    m.save_tsv(std::path::Path::new("results/table3.tsv"));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 4: TLB-miss-intensive finish times.
+use cki_bench::{experiments, Scale};
+
+fn main() {
+    let m = experiments::table4(Scale::from_env());
+    print!("{}", m.render());
+    print!("{}", m.normalized_to("RunC-BM").render());
+    m.save_tsv(std::path::Path::new("results/table4.tsv"));
+    println!("paper (s, normalized to RunC): GUPS 1.00/1.23/1.22/1.00/1.00; BTree-Lookup 1.00/1.07/1.07/0.96/1.00");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 5: comparison with prior intra-kernel isolation work.
+use cki_bench::experiments;
+
+fn main() {
+    let m = experiments::table5();
+    print!("{}", m.render());
+    m.save_tsv(std::path::Path::new("results/table5.tsv"));
+}

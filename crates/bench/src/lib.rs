@@ -1,0 +1,16 @@
+//! The benchmark harness: regenerates every table and figure of the CKI
+//! paper's evaluation.
+//!
+//! Each experiment lives in [`experiments`] as a pure function returning
+//! structured rows; the `src/bin/*` binaries print them (and `run_all`
+//! writes the whole set under `results/`). The DESIGN.md per-experiment
+//! index maps each binary to the paper artifact it regenerates.
+//!
+//! Set `CKI_BENCH_SCALE=quick` for CI-sized runs; the default `full` scale
+//! is sized so every effect the paper reports is out of the noise while a
+//! complete `run_all` finishes in minutes.
+
+pub mod experiments;
+pub mod util;
+
+pub use util::{Matrix, Scale};

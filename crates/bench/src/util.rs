@@ -1,0 +1,180 @@
+//! Harness utilities: scaling, result matrices, rendering, TSV output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Experiment sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized: seconds per experiment.
+    Quick,
+    /// Paper-shaped: minutes for the full set.
+    Full,
+}
+
+impl Scale {
+    /// Reads `CKI_BENCH_SCALE` (`quick`/`full`), defaulting to `Full`.
+    pub fn from_env() -> Self {
+        match std::env::var("CKI_BENCH_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Scales a nominal full-size count down for quick runs.
+    pub fn n(&self, full: u64) -> u64 {
+        match self {
+            Scale::Quick => (full / 8).max(64),
+            Scale::Full => full,
+        }
+    }
+}
+
+/// A labelled result matrix: rows (e.g. workloads) × columns (e.g.
+/// backends), plus units — the common shape of the paper's figures.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Title (e.g. "Figure 12: memory-intensive latency").
+    pub title: String,
+    /// Unit of the cell values.
+    pub unit: String,
+    /// Column labels.
+    pub cols: Vec<String>,
+    /// Row labels.
+    pub rows: Vec<String>,
+    /// `data[row][col]`.
+    pub data: Vec<Vec<f64>>,
+}
+
+impl Matrix {
+    /// Creates an empty matrix with the given shape.
+    pub fn new(title: &str, unit: &str, cols: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            unit: unit.to_owned(),
+            cols: cols.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the column count.
+    pub fn push_row(&mut self, label: &str, values: Vec<f64>) {
+        assert_eq!(values.len(), self.cols.len(), "row width mismatch");
+        self.rows.push(label.to_owned());
+        self.data.push(values);
+    }
+
+    /// Returns a copy normalized per row to the named column (that column
+    /// becomes 1.0) — how the paper plots Figures 4/5/11/12/14.
+    pub fn normalized_to(&self, col: &str) -> Matrix {
+        let idx = self
+            .cols
+            .iter()
+            .position(|c| c == col)
+            .unwrap_or_else(|| panic!("no column {col}"));
+        let mut out = self.clone();
+        out.unit = format!("normalized to {col}");
+        for row in &mut out.data {
+            let base = row[idx];
+            for v in row.iter_mut() {
+                *v = if base == 0.0 { 0.0 } else { *v / base };
+            }
+        }
+        out
+    }
+
+    /// Cell accessor by labels.
+    pub fn get(&self, row: &str, col: &str) -> f64 {
+        let r = self.rows.iter().position(|x| x == row).unwrap_or_else(|| panic!("no row {row}"));
+        let c = self.cols.iter().position(|x| x == col).unwrap_or_else(|| panic!("no col {col}"));
+        self.data[r][c]
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "== {} [{}]", self.title, self.unit);
+        let w0 = self.rows.iter().map(|r| r.len()).max().unwrap_or(4).max(4);
+        let _ = write!(s, "{:w0$}", "");
+        for c in &self.cols {
+            let _ = write!(s, " {:>12}", c);
+        }
+        let _ = writeln!(s);
+        for (label, row) in self.rows.iter().zip(&self.data) {
+            let _ = write!(s, "{label:w0$}");
+            for v in row {
+                if *v == 0.0 {
+                    let _ = write!(s, " {:>12}", "-");
+                } else if v.abs() >= 1000.0 {
+                    let _ = write!(s, " {v:>12.0}");
+                } else {
+                    let _ = write!(s, " {v:>12.3}");
+                }
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+
+    /// Writes the matrix as a TSV file (creating parent directories).
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors — the harness treats those as fatal.
+    pub fn save_tsv(&self, path: &Path) {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create results dir");
+        }
+        let mut s = String::new();
+        let _ = write!(s, "# {} [{}]\nrow", self.title, self.unit);
+        for c in &self.cols {
+            let _ = write!(s, "\t{c}");
+        }
+        let _ = writeln!(s);
+        for (label, row) in self.rows.iter().zip(&self.data) {
+            let _ = write!(s, "{label}");
+            for v in row {
+                let _ = write!(s, "\t{v}");
+            }
+            let _ = writeln!(s);
+        }
+        std::fs::write(path, s).expect("write tsv");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_and_get() {
+        let mut m = Matrix::new("t", "ns", &["RunC", "CKI"]);
+        m.push_row("a", vec![100.0, 110.0]);
+        m.push_row("b", vec![200.0, 500.0]);
+        assert_eq!(m.get("b", "CKI"), 500.0);
+        let n = m.normalized_to("RunC");
+        assert!((n.get("a", "CKI") - 1.1).abs() < 1e-12);
+        assert!((n.get("b", "CKI") - 2.5).abs() < 1e-12);
+        assert_eq!(n.get("a", "RunC"), 1.0);
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let mut m = Matrix::new("Demo", "ns", &["A"]);
+        m.push_row("row1", vec![1234.5]);
+        let out = m.render();
+        assert!(out.contains("Demo") && out.contains("row1") && out.contains("1234") || out.contains("1235"));
+    }
+
+    #[test]
+    fn scale_quick_shrinks() {
+        assert_eq!(Scale::Full.n(10_000), 10_000);
+        assert_eq!(Scale::Quick.n(10_000), 1250);
+        assert_eq!(Scale::Quick.n(100), 64);
+    }
+}

@@ -1,0 +1,278 @@
+//! Processes, address spaces, and virtual memory areas.
+
+use std::collections::BTreeMap;
+
+use sim_mem::{Phys, Virt, PAGE_SIZE};
+
+/// Process identifier.
+pub type Pid = u32;
+
+/// File descriptor.
+pub type Fd = i32;
+
+/// Virtual-address-space layout constants for guest processes.
+pub mod layout {
+    /// Program text base.
+    pub const TEXT_BASE: u64 = 0x40_0000;
+    /// Pages of program text mapped at exec.
+    pub const TEXT_PAGES: u64 = 16;
+    /// Heap (brk) base.
+    pub const HEAP_BASE: u64 = 0x100_0000;
+    /// mmap region base (grows upward).
+    pub const MMAP_BASE: u64 = 0x7f00_0000_0000;
+    /// Top of the user stack (exclusive).
+    pub const STACK_TOP: u64 = 0x7fff_ffff_f000;
+    /// Stack size in pages.
+    pub const STACK_PAGES: u64 = 64;
+}
+
+/// What backs a VMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmaKind {
+    /// Anonymous memory (zero-filled on demand).
+    Anon,
+    /// Program text (prefaulted at exec).
+    Text,
+    /// The stack.
+    Stack,
+    /// The brk heap.
+    Heap,
+    /// File-backed mapping into the tmpfs page cache.
+    File {
+        /// Inode number.
+        inode: usize,
+        /// Offset of the VMA start within the file.
+        offset: u64,
+    },
+}
+
+/// A virtual memory area.
+#[derive(Debug, Clone, Copy)]
+pub struct Vma {
+    /// First byte.
+    pub start: Virt,
+    /// One past the last byte.
+    pub end: Virt,
+    /// Writable.
+    pub write: bool,
+    /// Backing.
+    pub kind: VmaKind,
+}
+
+impl Vma {
+    /// True if `va` is inside the area.
+    pub fn contains(&self, va: Virt) -> bool {
+        (self.start..self.end).contains(&va)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True if the area is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Per-page bookkeeping mirrored from the page table (the kernel's rmap).
+#[derive(Debug, Clone, Copy)]
+pub struct PageInfo {
+    /// Guest-physical frame backing the page.
+    pub pa: Phys,
+    /// True if this mapping is copy-on-write (write-protected share).
+    pub cow: bool,
+    /// Whether the VMA allows writes (restored when COW breaks).
+    pub vma_write: bool,
+}
+
+/// One process address space: a real page-table root plus software metadata.
+#[derive(Debug)]
+pub struct AddressSpace {
+    /// Page-table root (guest-physical).
+    pub root: Phys,
+    /// The VMA list, sorted by start.
+    pub vmas: Vec<Vma>,
+    /// Mapped pages (page-aligned VA → frame info).
+    pub pages: BTreeMap<Virt, PageInfo>,
+    /// Next free mmap address.
+    pub mmap_cursor: Virt,
+    /// Current brk.
+    pub brk: Virt,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space over `root`.
+    pub fn new(root: Phys) -> Self {
+        Self {
+            root,
+            vmas: Vec::new(),
+            pages: BTreeMap::new(),
+            mmap_cursor: layout::MMAP_BASE,
+            brk: layout::HEAP_BASE,
+        }
+    }
+
+    /// Finds the VMA containing `va`.
+    pub fn find_vma(&self, va: Virt) -> Option<&Vma> {
+        self.vmas.iter().find(|v| v.contains(va))
+    }
+
+    /// Inserts a VMA, keeping the list sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new VMA overlaps an existing one.
+    pub fn insert_vma(&mut self, vma: Vma) {
+        assert!(!vma.is_empty(), "inserting empty VMA");
+        assert!(
+            !self.vmas.iter().any(|v| vma.start < v.end && v.start < vma.end),
+            "VMA overlap at {:#x}..{:#x}",
+            vma.start,
+            vma.end
+        );
+        let pos = self.vmas.partition_point(|v| v.start < vma.start);
+        self.vmas.insert(pos, vma);
+    }
+
+    /// Removes the VMA exactly covering `[start, end)` and returns it.
+    pub fn remove_vma(&mut self, start: Virt, end: Virt) -> Option<Vma> {
+        let idx = self.vmas.iter().position(|v| v.start == start && v.end == end)?;
+        Some(self.vmas.remove(idx))
+    }
+
+    /// Reserves `len` bytes in the mmap area, returning the base address.
+    pub fn alloc_mmap(&mut self, len: u64) -> Virt {
+        let base = self.mmap_cursor;
+        self.mmap_cursor += sim_mem::addr::page_align_up(len) + PAGE_SIZE; // guard page
+        base
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// Process lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable or running.
+    Ready,
+    /// Blocked on I/O or a child.
+    Blocked,
+    /// Exited, waiting to be reaped.
+    Zombie,
+}
+
+/// What a file descriptor refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileDesc {
+    /// A tmpfs file.
+    File {
+        /// Inode number.
+        inode: usize,
+        /// Current offset.
+        offset: u64,
+    },
+    /// Read end of a pipe.
+    PipeRead {
+        /// Pipe id.
+        pipe: usize,
+    },
+    /// Write end of a pipe.
+    PipeWrite {
+        /// Pipe id.
+        pipe: usize,
+    },
+    /// A connected stream socket (AF_UNIX pair or TCP-over-VirtIO).
+    Socket {
+        /// Socket id.
+        sock: usize,
+    },
+}
+
+/// A guest process.
+#[derive(Debug)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Parent pid (0 for the initial process).
+    pub parent: Pid,
+    /// The address space.
+    pub aspace: AddressSpace,
+    /// Open files.
+    pub fds: BTreeMap<Fd, FileDesc>,
+    /// Next fd to hand out.
+    pub next_fd: Fd,
+    /// Lifecycle state.
+    pub state: ProcState,
+    /// Exit code once zombie.
+    pub exit_code: i32,
+}
+
+impl Process {
+    /// Creates a process around an address space.
+    pub fn new(pid: Pid, parent: Pid, aspace: AddressSpace) -> Self {
+        Self {
+            pid,
+            parent,
+            aspace,
+            fds: BTreeMap::new(),
+            next_fd: 3,
+            state: ProcState::Ready,
+            exit_code: 0,
+        }
+    }
+
+    /// Installs `desc` at the next free descriptor.
+    pub fn install_fd(&mut self, desc: FileDesc) -> Fd {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(fd, desc);
+        fd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vma_sorted_insert_and_find() {
+        let mut a = AddressSpace::new(0x1000);
+        a.insert_vma(Vma { start: 0x4000, end: 0x6000, write: true, kind: VmaKind::Anon });
+        a.insert_vma(Vma { start: 0x1000, end: 0x2000, write: false, kind: VmaKind::Text });
+        assert_eq!(a.vmas[0].start, 0x1000);
+        assert!(a.find_vma(0x4fff).is_some());
+        assert!(a.find_vma(0x3000).is_none());
+        assert!(a.find_vma(0x6000).is_none(), "end is exclusive");
+    }
+
+    #[test]
+    #[should_panic(expected = "VMA overlap")]
+    fn overlap_rejected() {
+        let mut a = AddressSpace::new(0x1000);
+        a.insert_vma(Vma { start: 0x4000, end: 0x6000, write: true, kind: VmaKind::Anon });
+        a.insert_vma(Vma { start: 0x5000, end: 0x7000, write: true, kind: VmaKind::Anon });
+    }
+
+    #[test]
+    fn mmap_cursor_advances_with_guard() {
+        let mut a = AddressSpace::new(0x1000);
+        let b1 = a.alloc_mmap(0x4000);
+        let b2 = a.alloc_mmap(0x1000);
+        assert!(b2 >= b1 + 0x4000 + PAGE_SIZE);
+    }
+
+    #[test]
+    fn fd_installation() {
+        let mut p = Process::new(1, 0, AddressSpace::new(0x1000));
+        let fd = p.install_fd(FileDesc::File { inode: 0, offset: 0 });
+        assert_eq!(fd, 3);
+        let fd2 = p.install_fd(FileDesc::PipeRead { pipe: 0 });
+        assert_eq!(fd2, 4);
+        assert!(p.fds.contains_key(&fd));
+    }
+}

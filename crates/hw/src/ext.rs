@@ -1,0 +1,74 @@
+//! The CKI hardware extension toggles.
+
+/// Configuration of the paper's proposed hardware extensions (§4.1, §4.4).
+///
+/// Baseline hardware (what HVM/PVM/RunC run on) uses [`HwExtensions::baseline`];
+/// CKI hardware uses [`HwExtensions::cki`]. Individual toggles exist so the
+/// tests can demonstrate the attack each extension forecloses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwExtensions {
+    /// The new `wrpkrs` instruction (replacing `wrmsr` writes to PKRS).
+    /// Without it, executing [`crate::Instr::Wrpkrs`] raises `#UD`.
+    pub wrpkrs_instruction: bool,
+    /// Block destructive privileged instructions while `PKRS != 0` (§4.1,
+    /// Table 3). This is what deprivileges the guest kernel inside ring 0.
+    pub priv_inst_blocking: bool,
+    /// On *hardware* interrupt delivery, save PKRS into the interrupt frame
+    /// and clear it to zero; software `int n` leaves PKRS unchanged (§4.4).
+    /// Prevents interrupt forgery: no `wrpkrs` exists in the interrupt gate.
+    pub idt_pkrs_switch: bool,
+    /// `iret` restores PKRS from the interrupt frame (§4.2).
+    pub iret_pkrs_restore: bool,
+    /// `sysret` forces `RFLAGS.IF = 1` while `PKRS != 0`, so a malicious
+    /// guest kernel cannot use `sysret` to disable interrupts (DoS, §4.1).
+    pub sysret_if_enforce: bool,
+}
+
+impl HwExtensions {
+    /// Commodity hardware: plain PKS (as in Intel SDM), no CKI extensions.
+    pub const fn baseline() -> Self {
+        Self {
+            wrpkrs_instruction: false,
+            priv_inst_blocking: false,
+            idt_pkrs_switch: false,
+            iret_pkrs_restore: false,
+            sysret_if_enforce: false,
+        }
+    }
+
+    /// CKI hardware: all four extensions enabled.
+    pub const fn cki() -> Self {
+        Self {
+            wrpkrs_instruction: true,
+            priv_inst_blocking: true,
+            idt_pkrs_switch: true,
+            iret_pkrs_restore: true,
+            sysret_if_enforce: true,
+        }
+    }
+}
+
+impl Default for HwExtensions {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let b = HwExtensions::baseline();
+        assert!(!b.wrpkrs_instruction && !b.priv_inst_blocking);
+        let c = HwExtensions::cki();
+        assert!(
+            c.wrpkrs_instruction
+                && c.priv_inst_blocking
+                && c.idt_pkrs_switch
+                && c.iret_pkrs_restore
+                && c.sysret_if_enforce
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Architectural fault model.
+
+use sim_mem::Virt;
+
+/// Faults raised by the simulated CPU.
+///
+/// Faults do not unwind the simulation; they are returned as values and the
+/// software layer decides where they trap (guest kernel IDT entry, KSM, or
+/// host kernel), mirroring how real exception routing works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// `#PF` — page not present or permission violation.
+    PageFault {
+        /// Faulting virtual address (CR2).
+        addr: Virt,
+        /// x86 `#PF` error code ([`sim_mem::pte::fault_code`] bits).
+        code: u64,
+    },
+    /// `#PF` with the PK bit — protection-key (PKS/PKU) violation.
+    PkViolation {
+        /// Faulting virtual address.
+        addr: Virt,
+        /// The key on the page.
+        key: u8,
+        /// Whether the denied access was a write.
+        write: bool,
+    },
+    /// `#GP` — privileged instruction in user mode, bad register value, etc.
+    GeneralProtection(&'static str),
+    /// `#UD` — undefined opcode (e.g. `wrpkrs` on baseline hardware).
+    UndefinedInstruction(&'static str),
+    /// The CKI extension blocked a destructive privileged instruction
+    /// because `PKRS != 0` (§4.1). Traps to the host kernel.
+    BlockedPrivileged {
+        /// A short mnemonic of the blocked instruction.
+        mnemonic: &'static str,
+    },
+    /// Second-stage (EPT) translation failed: the gPA is not mapped.
+    EptViolation {
+        /// The guest-physical address that missed.
+        gpa: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// Unrecoverable: fault while delivering a fault (e.g. bad interrupt
+    /// stack). On real hardware this resets the machine; a malicious guest
+    /// kernel could use it for DoS — CKI prevents it with IST (§4.4).
+    TripleFault,
+}
+
+impl Fault {
+    /// Short human-readable mnemonic for reports and tests.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Fault::PageFault { .. } => "#PF",
+            Fault::PkViolation { .. } => "#PF(pk)",
+            Fault::GeneralProtection(_) => "#GP",
+            Fault::UndefinedInstruction(_) => "#UD",
+            Fault::BlockedPrivileged { .. } => "#BLOCK",
+            Fault::EptViolation { .. } => "EPT",
+            Fault::TripleFault => "TRIPLE",
+        }
+    }
+
+    /// True for faults that, under CKI, trap to the host kernel rather than
+    /// being handled inside the guest.
+    pub fn traps_to_host(&self) -> bool {
+        matches!(
+            self,
+            Fault::BlockedPrivileged { .. } | Fault::TripleFault | Fault::EptViolation { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::PageFault { addr, code } => write!(f, "#PF at {addr:#x} (code {code:#x})"),
+            Fault::PkViolation { addr, key, write } => {
+                write!(f, "#PF(pk) at {addr:#x} key {key} write={write}")
+            }
+            Fault::GeneralProtection(why) => write!(f, "#GP: {why}"),
+            Fault::UndefinedInstruction(why) => write!(f, "#UD: {why}"),
+            Fault::BlockedPrivileged { mnemonic } => write!(f, "blocked privileged: {mnemonic}"),
+            Fault::EptViolation { gpa, write } => {
+                write!(f, "EPT violation at gPA {gpa:#x} write={write}")
+            }
+            Fault::TripleFault => write!(f, "triple fault"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_mnemonics() {
+        let f = Fault::PageFault { addr: 0x1000, code: 0b10 };
+        assert_eq!(f.mnemonic(), "#PF");
+        assert!(f.to_string().contains("0x1000"));
+        assert!(!f.traps_to_host());
+        assert!(Fault::BlockedPrivileged { mnemonic: "wrmsr" }.traps_to_host());
+        assert!(Fault::TripleFault.traps_to_host());
+    }
+}

@@ -1,0 +1,128 @@
+//! Interrupt descriptor table model and interrupt frames.
+//!
+//! The IDT lives in *simulated physical memory* (16 bytes per vector), so
+//! the security property the paper relies on — the guest kernel cannot
+//! modify the IDT because it is mapped in KSM-keyed pages (§4.4) — is
+//! enforced by the same MMU checks as any other access.
+
+use sim_mem::{Phys, PhysMem};
+
+/// Number of IDT vectors.
+pub const IDT_VECTORS: usize = 256;
+
+/// Byte size of one IDT entry.
+pub const IDT_ENTRY_SIZE: u64 = 16;
+
+/// One IDT entry.
+///
+/// `handler` is an opaque token the software layer maps to a gate (the
+/// simulation dispatches on tokens instead of fetching code bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IdtEntry {
+    /// Opaque handler token (0 = not present).
+    pub handler: u64,
+    /// Interrupt-stack-table index (0 = use the current stack).
+    pub ist: u8,
+    /// Present bit.
+    pub present: bool,
+}
+
+impl IdtEntry {
+    /// Serializes the entry into its two 64-bit words.
+    pub fn encode(&self) -> (u64, u64) {
+        let flags = (self.present as u64) | ((self.ist as u64 & 0x7) << 1);
+        (self.handler, flags)
+    }
+
+    /// Deserializes an entry from its two 64-bit words.
+    pub fn decode(word0: u64, word1: u64) -> Self {
+        Self {
+            handler: word0,
+            ist: ((word1 >> 1) & 0x7) as u8,
+            present: word1 & 1 != 0,
+        }
+    }
+
+    /// Writes the entry for `vector` into an IDT at physical base `idt_base`.
+    pub fn write_to(&self, mem: &mut PhysMem, idt_base: Phys, vector: u8) {
+        let (w0, w1) = self.encode();
+        let off = idt_base + IDT_ENTRY_SIZE * vector as u64;
+        mem.write_u64(off, w0);
+        mem.write_u64(off + 8, w1);
+    }
+
+    /// Reads the entry for `vector` from an IDT at physical base `idt_base`.
+    pub fn read_from(mem: &mut PhysMem, idt_base: Phys, vector: u8) -> Self {
+        let off = idt_base + IDT_ENTRY_SIZE * vector as u64;
+        let w0 = mem.read_u64(off);
+        let w1 = mem.read_u64(off + 8);
+        Self::decode(w0, w1)
+    }
+}
+
+/// The frame `iret` returns through.
+///
+/// Under the CKI extension, hardware-interrupt delivery records the saved
+/// PKRS here and `iret` restores it (§4.2/§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IretFrame {
+    /// Return instruction-pointer token.
+    pub rip: u64,
+    /// Return to user mode (vs kernel mode).
+    pub user_mode: bool,
+    /// `RFLAGS.IF` to restore.
+    pub if_flag: bool,
+    /// Stack pointer to restore.
+    pub rsp: u64,
+    /// PKRS to restore (used only when the `iret_pkrs_restore` extension is
+    /// on).
+    pub pkrs: u32,
+}
+
+/// Offsets of IST stack pointers inside the TSS (x86-64 layout: IST1..IST7
+/// at bytes 36..92; we use an 8-aligned simplification).
+pub const TSS_IST_OFFSET: u64 = 40;
+
+/// Reads IST slot `ist` (1..=7) from the TSS at `tss_base`.
+pub fn read_ist(mem: &mut PhysMem, tss_base: Phys, ist: u8) -> u64 {
+    assert!((1..=7).contains(&ist), "IST index out of range: {ist}");
+    mem.read_u64(tss_base + TSS_IST_OFFSET + 8 * (ist as u64 - 1))
+}
+
+/// Writes IST slot `ist` (1..=7) in the TSS at `tss_base`.
+pub fn write_ist(mem: &mut PhysMem, tss_base: Phys, ist: u8, rsp: u64) {
+    assert!((1..=7).contains(&ist), "IST index out of range: {ist}");
+    mem.write_u64(tss_base + TSS_IST_OFFSET + 8 * (ist as u64 - 1), rsp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_roundtrip() {
+        let mut mem = PhysMem::new(1 << 20);
+        let e = IdtEntry { handler: 0xdead_beef, ist: 3, present: true };
+        e.write_to(&mut mem, 0x4000, 32);
+        let r = IdtEntry::read_from(&mut mem, 0x4000, 32);
+        assert_eq!(e, r);
+        // Untouched vector decodes as not-present.
+        let empty = IdtEntry::read_from(&mut mem, 0x4000, 33);
+        assert!(!empty.present);
+    }
+
+    #[test]
+    fn ist_roundtrip() {
+        let mut mem = PhysMem::new(1 << 20);
+        write_ist(&mut mem, 0x5000, 1, 0xffff_8000_0000_1000);
+        assert_eq!(read_ist(&mut mem, 0x5000, 1), 0xffff_8000_0000_1000);
+        assert_eq!(read_ist(&mut mem, 0x5000, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "IST index out of range")]
+    fn ist_zero_rejected() {
+        let mut mem = PhysMem::new(1 << 20);
+        read_ist(&mut mem, 0x5000, 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! The modelled instruction set and Table 3's guest-execution policy.
+
+use sim_mem::Virt;
+
+use crate::idt::IretFrame;
+
+/// `invpcid` operation type (Intel SDM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvpcidMode {
+    /// Flush one address in one PCID.
+    IndividualAddress {
+        /// The PCID to flush within.
+        pcid: u16,
+        /// The address to flush.
+        va: Virt,
+    },
+    /// Flush an entire PCID context.
+    SingleContext {
+        /// The PCID to flush.
+        pcid: u16,
+    },
+    /// Flush everything, including globals.
+    AllContexts,
+}
+
+/// The instructions the simulation models explicitly.
+///
+/// This covers every row of the paper's Table 3 plus the memory and compute
+/// operations the software stack needs. Anything not relevant to privilege
+/// or translation is represented by [`Instr::Alu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Generic unprivileged computation costing `cycles`.
+    Alu {
+        /// Cycle cost to charge.
+        cycles: u64,
+    },
+    /// A load from a virtual address (goes through the MMU).
+    Load {
+        /// The virtual address.
+        va: Virt,
+    },
+    /// A store to a virtual address (goes through the MMU).
+    Store {
+        /// The virtual address.
+        va: Virt,
+    },
+
+    // --- System registers (Table 3: blocked) ---------------------------------
+    /// `lidt` — load IDT register.
+    Lidt {
+        /// Physical base of the new IDT.
+        base: u64,
+    },
+    /// `lgdt` — load GDT register.
+    Lgdt {
+        /// Physical base of the new GDT.
+        base: u64,
+    },
+    /// `ltr` — load task register (selects the TSS, hence the IST stacks).
+    Ltr {
+        /// TSS selector.
+        selector: u16,
+    },
+
+    // --- MSRs (Table 3: blocked) ----------------------------------------------
+    /// `wrmsr`.
+    Wrmsr {
+        /// MSR index.
+        msr: u32,
+        /// Value to write.
+        value: u64,
+    },
+    /// `rdmsr`.
+    Rdmsr {
+        /// MSR index.
+        msr: u32,
+    },
+
+    // --- Control registers ------------------------------------------------------
+    /// `mov reg, crN` — reading CR0/CR4 is harmless (Table 3: not blocked).
+    ReadCr {
+        /// Which control register (0, 3, or 4).
+        cr: u8,
+    },
+    /// `mov cr0, reg` (Table 3: blocked — replaced with KSM call).
+    WriteCr0 {
+        /// New CR0 value.
+        value: u64,
+    },
+    /// `mov cr4, reg` (Table 3: blocked).
+    WriteCr4 {
+        /// New CR4 value.
+        value: u64,
+    },
+    /// `mov cr3, reg` (Table 3: blocked — replaced with KSM call).
+    WriteCr3 {
+        /// New CR3 value: bits 63:12 root PA, bits 11:0 PCID.
+        value: u64,
+        /// If true (bit 63 of the architectural value), TLB entries of the
+        /// new PCID are preserved.
+        preserve_tlb: bool,
+    },
+    /// `clac`/`stac` — toggling SMAP's AC flag is harmless (not blocked).
+    Clac,
+    /// See [`Instr::Clac`].
+    Stac,
+
+    // --- TLB maintenance ---------------------------------------------------------
+    /// `invlpg` — flushes only the current PCID's entry, so it is safe to
+    /// leave executable in the guest kernel (Table 3: not blocked).
+    Invlpg {
+        /// Address whose translation to flush.
+        va: Virt,
+    },
+    /// `invpcid` — can flush other containers' PCIDs (Table 3: blocked).
+    Invpcid {
+        /// Which flush to perform.
+        mode: InvpcidMode,
+    },
+
+    // --- Syscall / exception -----------------------------------------------------
+    /// `swapgs` (Table 3: not blocked, for syscall performance — §4.1).
+    Swapgs,
+    /// `sysret` (not blocked; the CKI extension pins `IF = 1` when
+    /// `PKRS != 0`).
+    Sysret {
+        /// The `IF` value the (possibly malicious) kernel asks to restore.
+        restore_if: bool,
+    },
+    /// `iret` (Table 3: blocked — replaced with a KSM call).
+    Iret {
+        /// The frame to return through.
+        frame: IretFrame,
+    },
+
+    // --- Other privileged instructions --------------------------------------------
+    /// `hlt` — pauses the vCPU until the next interrupt. Harmless (the host
+    /// still receives interrupts); the para-virtual guest uses a hypercall
+    /// instead (Table 3).
+    Hlt,
+    /// `cli` (Table 3: blocked — interrupt state lives in memory instead).
+    Cli,
+    /// `sti` (Table 3: blocked).
+    Sti,
+    /// `popf` restoring `IF` (Table 3: blocked).
+    Popf {
+        /// The `IF` bit in the popped flags.
+        if_flag: bool,
+    },
+    /// `in` — port I/O (Table 3: blocked, unused by a PV guest).
+    InPort {
+        /// Port number.
+        port: u16,
+    },
+    /// `out` — port I/O (Table 3: blocked).
+    OutPort {
+        /// Port number.
+        port: u16,
+        /// Value to write.
+        value: u32,
+    },
+    /// `smsw` — legacy machine-status read (Table 3: blocked).
+    Smsw,
+
+    // --- Protection keys -----------------------------------------------------------
+    /// The proposed `wrpkrs` instruction (Table 3: not blocked; it is what
+    /// the switch gates are made of). `#UD` on baseline hardware.
+    Wrpkrs {
+        /// New PKRS value.
+        value: u32,
+    },
+    /// `rdpkrs` companion read (modelled for gate checks).
+    Rdpkrs,
+    /// `wrpkru` — the existing userspace instruction (never privileged).
+    Wrpkru {
+        /// New PKRU value.
+        value: u32,
+    },
+
+    // --- Software interrupts ----------------------------------------------------
+    /// `int n` — software interrupt. The IDT-PKRS hardware extension
+    /// deliberately does *not* switch PKRS for these (§4.4).
+    IntN {
+        /// Vector number.
+        vector: u8,
+    },
+}
+
+/// Whether an instruction may execute in the deprivileged guest kernel
+/// (`PKRS != 0` under the CKI extension) — the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestPolicy {
+    /// Executable in the guest kernel.
+    Allowed,
+    /// Blocked: raises [`crate::Fault::BlockedPrivileged`] and traps to the
+    /// host kernel.
+    Blocked,
+    /// Not a privileged instruction at all (also allowed in user mode).
+    Unprivileged,
+}
+
+impl Instr {
+    /// Short mnemonic for fault reporting.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instr::Alu { .. } => "alu",
+            Instr::Load { .. } => "load",
+            Instr::Store { .. } => "store",
+            Instr::Lidt { .. } => "lidt",
+            Instr::Lgdt { .. } => "lgdt",
+            Instr::Ltr { .. } => "ltr",
+            Instr::Wrmsr { .. } => "wrmsr",
+            Instr::Rdmsr { .. } => "rdmsr",
+            Instr::ReadCr { .. } => "mov reg, crN",
+            Instr::WriteCr0 { .. } => "mov cr0, reg",
+            Instr::WriteCr4 { .. } => "mov cr4, reg",
+            Instr::WriteCr3 { .. } => "mov cr3, reg",
+            Instr::Clac => "clac",
+            Instr::Stac => "stac",
+            Instr::Invlpg { .. } => "invlpg",
+            Instr::Invpcid { .. } => "invpcid",
+            Instr::Swapgs => "swapgs",
+            Instr::Sysret { .. } => "sysret",
+            Instr::Iret { .. } => "iret",
+            Instr::Hlt => "hlt",
+            Instr::Cli => "cli",
+            Instr::Sti => "sti",
+            Instr::Popf { .. } => "popf",
+            Instr::InPort { .. } => "in",
+            Instr::OutPort { .. } => "out",
+            Instr::Smsw => "smsw",
+            Instr::Wrpkrs { .. } => "wrpkrs",
+            Instr::Rdpkrs => "rdpkrs",
+            Instr::Wrpkru { .. } => "wrpkru",
+            Instr::IntN { .. } => "int n",
+        }
+    }
+
+    /// True if the instruction requires kernel mode on any x86.
+    pub fn is_privileged(&self) -> bool {
+        !matches!(
+            self,
+            Instr::Alu { .. }
+                | Instr::Load { .. }
+                | Instr::Store { .. }
+                | Instr::Wrpkru { .. }
+                | Instr::IntN { .. }
+                | Instr::Sysret { .. } // checked separately: #GP in user mode
+        ) || matches!(self, Instr::Sysret { .. })
+    }
+
+    /// The paper's Table 3 policy: what the CKI hardware extension does with
+    /// this instruction when `PKRS != 0` in kernel mode.
+    pub fn guest_policy(&self) -> GuestPolicy {
+        match self {
+            // Unprivileged operations.
+            Instr::Alu { .. }
+            | Instr::Load { .. }
+            | Instr::Store { .. }
+            | Instr::Wrpkru { .. }
+            | Instr::IntN { .. } => GuestPolicy::Unprivileged,
+
+            // Reading CR0/CR4 is harmless; reading CR3 would leak host
+            // physical addresses and is virtualized via the KSM.
+            Instr::ReadCr { cr: 3 } => GuestPolicy::Blocked,
+
+            // Table 3 "No" rows: executable in the guest kernel.
+            Instr::ReadCr { .. }
+            | Instr::Clac
+            | Instr::Stac
+            | Instr::Invlpg { .. }
+            | Instr::Swapgs
+            | Instr::Sysret { .. }
+            | Instr::Hlt
+            | Instr::Wrpkrs { .. }
+            | Instr::Rdpkrs => GuestPolicy::Allowed,
+
+            // Table 3 "Yes" rows: blocked, replaced with KSM calls or
+            // hypercalls.
+            Instr::Lidt { .. }
+            | Instr::Lgdt { .. }
+            | Instr::Ltr { .. }
+            | Instr::Wrmsr { .. }
+            | Instr::Rdmsr { .. }
+            | Instr::WriteCr0 { .. }
+            | Instr::WriteCr4 { .. }
+            | Instr::WriteCr3 { .. }
+            | Instr::Invpcid { .. }
+            | Instr::Iret { .. }
+            | Instr::Cli
+            | Instr::Sti
+            | Instr::Popf { .. }
+            | Instr::InPort { .. }
+            | Instr::OutPort { .. }
+            | Instr::Smsw => GuestPolicy::Blocked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_blocked_rows() {
+        for i in [
+            Instr::Lidt { base: 0 },
+            Instr::Lgdt { base: 0 },
+            Instr::Ltr { selector: 0 },
+            Instr::Wrmsr { msr: 0x10, value: 0 },
+            Instr::Rdmsr { msr: 0x10 },
+            Instr::WriteCr0 { value: 0 },
+            Instr::WriteCr4 { value: 0 },
+            Instr::WriteCr3 { value: 0, preserve_tlb: false },
+            Instr::Invpcid { mode: InvpcidMode::AllContexts },
+            Instr::Iret { frame: IretFrame::default() },
+            Instr::Cli,
+            Instr::Sti,
+            Instr::Popf { if_flag: false },
+            Instr::InPort { port: 0x60 },
+            Instr::OutPort { port: 0x60, value: 0 },
+            Instr::Smsw,
+        ] {
+            assert_eq!(i.guest_policy(), GuestPolicy::Blocked, "{}", i.mnemonic());
+            assert!(i.is_privileged(), "{}", i.mnemonic());
+        }
+    }
+
+    #[test]
+    fn table3_allowed_rows() {
+        for i in [
+            Instr::ReadCr { cr: 0 },
+            Instr::Clac,
+            Instr::Stac,
+            Instr::Invlpg { va: 0x1000 },
+            Instr::Swapgs,
+            Instr::Sysret { restore_if: true },
+            Instr::Hlt,
+            Instr::Wrpkrs { value: 0 },
+        ] {
+            assert_eq!(i.guest_policy(), GuestPolicy::Allowed, "{}", i.mnemonic());
+        }
+    }
+
+    #[test]
+    fn unprivileged_rows() {
+        for i in [
+            Instr::Alu { cycles: 1 },
+            Instr::Load { va: 0 },
+            Instr::Store { va: 0 },
+            Instr::Wrpkru { value: 0 },
+            Instr::IntN { vector: 3 },
+        ] {
+            assert_eq!(i.guest_policy(), GuestPolicy::Unprivileged);
+            assert!(!i.is_privileged());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Protection-key register encoding (PKRS/PKRU).
+//!
+//! Both registers hold two bits per key: bit `2k` is *access disable* (AD)
+//! and bit `2k + 1` is *write disable* (WD), for keys 0..=15 (Intel SDM;
+//! paper §2.3).
+
+/// Number of protection keys per address space (the "Challenge-1" limit:
+/// far fewer than the number of containers a machine hosts, §3.2).
+pub const PKEY_COUNT: u8 = 16;
+
+/// Returns the PKRS/PKRU bit denying all access for `key`.
+///
+/// # Panics
+///
+/// Panics if `key >= 16`.
+#[inline]
+pub fn pkrs_deny_access(key: u8) -> u32 {
+    assert!(key < PKEY_COUNT, "protection key out of range: {key}");
+    1 << (2 * key)
+}
+
+/// Returns the PKRS/PKRU bit denying writes for `key`.
+///
+/// # Panics
+///
+/// Panics if `key >= 16`.
+#[inline]
+pub fn pkrs_deny_write(key: u8) -> u32 {
+    assert!(key < PKEY_COUNT, "protection key out of range: {key}");
+    2 << (2 * key)
+}
+
+/// True if `pkrs` denies all access to pages tagged `key`.
+#[inline]
+pub fn denies_access(pkrs: u32, key: u8) -> bool {
+    pkrs & pkrs_deny_access(key) != 0
+}
+
+/// True if `pkrs` denies writes to pages tagged `key` (reads may still be
+/// allowed; AD implies no access of any kind).
+#[inline]
+pub fn denies_write(pkrs: u32, key: u8) -> bool {
+    pkrs & (pkrs_deny_access(key) | pkrs_deny_write(key)) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_layout() {
+        assert_eq!(pkrs_deny_access(0), 0b01);
+        assert_eq!(pkrs_deny_write(0), 0b10);
+        assert_eq!(pkrs_deny_access(1), 0b0100);
+        assert_eq!(pkrs_deny_write(15), 2 << 30);
+    }
+
+    #[test]
+    fn predicates() {
+        let pkrs = pkrs_deny_access(1) | pkrs_deny_write(2);
+        assert!(denies_access(pkrs, 1));
+        assert!(denies_write(pkrs, 1)); // AD implies no writes either
+        assert!(!denies_access(pkrs, 2));
+        assert!(denies_write(pkrs, 2));
+        assert!(!denies_access(pkrs, 0));
+        assert!(!denies_write(pkrs, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn key_16_rejected() {
+        pkrs_deny_access(16);
+    }
+}

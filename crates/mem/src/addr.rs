@@ -1,0 +1,87 @@
+//! Address types and page-granularity helpers.
+
+/// A host physical address (hPA) in the simulated machine.
+pub type Phys = u64;
+
+/// A virtual address (gVA or hVA depending on context).
+pub type Virt = u64;
+
+/// Base-2 logarithm of the page size.
+pub const PAGE_SHIFT: u64 = 12;
+
+/// The page size of the simulated machine (4 KiB, x86-64 base pages).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Size of a 2 MiB huge page (one PD-level mapping).
+pub const HUGE_PAGE_SIZE: u64 = 2 * 1024 * 1024;
+
+/// Rounds `addr` down to the containing page boundary.
+#[inline]
+pub const fn page_align_down(addr: u64) -> u64 {
+    addr & !(PAGE_SIZE - 1)
+}
+
+/// Rounds `addr` up to the next page boundary.
+#[inline]
+pub const fn page_align_up(addr: u64) -> u64 {
+    (addr + PAGE_SIZE - 1) & !(PAGE_SIZE - 1)
+}
+
+/// Returns the page frame number of `addr`.
+#[inline]
+pub const fn pfn(addr: u64) -> u64 {
+    addr >> PAGE_SHIFT
+}
+
+/// Returns the offset of `addr` within its page.
+#[inline]
+pub const fn page_offset(addr: u64) -> u64 {
+    addr & (PAGE_SIZE - 1)
+}
+
+/// Returns true if `addr` is page-aligned.
+#[inline]
+pub const fn is_page_aligned(addr: u64) -> bool {
+    page_offset(addr) == 0
+}
+
+/// Index of `va` within the page-table level `level` (4 = PML4 .. 1 = PT).
+///
+/// Matches the x86-64 split: bits 47:39 (PML4), 38:30 (PDPT), 29:21 (PD),
+/// 20:12 (PT).
+#[inline]
+pub const fn pt_index(va: Virt, level: u8) -> usize {
+    ((va >> (PAGE_SHIFT + 9 * (level as u64 - 1))) & 0x1ff) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_roundtrip() {
+        assert_eq!(page_align_down(0x1fff), 0x1000);
+        assert_eq!(page_align_up(0x1001), 0x2000);
+        assert_eq!(page_align_up(0x1000), 0x1000);
+        assert!(is_page_aligned(0x3000));
+        assert!(!is_page_aligned(0x3001));
+    }
+
+    #[test]
+    fn pt_index_split() {
+        // VA with all level indices = 1 and offset 0.
+        let va = (1u64 << 39) | (1 << 30) | (1 << 21) | (1 << 12);
+        assert_eq!(pt_index(va, 4), 1);
+        assert_eq!(pt_index(va, 3), 1);
+        assert_eq!(pt_index(va, 2), 1);
+        assert_eq!(pt_index(va, 1), 1);
+        assert_eq!(pt_index(0, 4), 0);
+        assert_eq!(pt_index(u64::MAX & 0xffff_ffff_ffff, 1), 0x1ff);
+    }
+
+    #[test]
+    fn pfn_and_offset() {
+        assert_eq!(pfn(0x1234_5678), 0x1234_5678 >> 12);
+        assert_eq!(page_offset(0x1234_5678), 0x678);
+    }
+}

@@ -1,0 +1,150 @@
+//! Single-frame physical allocator.
+
+use crate::addr::{Phys, PAGE_SIZE};
+
+/// A bump-plus-free-list allocator for 4 KiB physical frames.
+///
+/// The host kernel owns one of these for the whole machine; guest kernels
+/// under CKI own one per delegated [`crate::Segment`].
+///
+/// # Examples
+///
+/// ```
+/// use sim_mem::FrameAllocator;
+///
+/// let mut alloc = FrameAllocator::new(0x10_0000, 0x20_0000);
+/// let a = alloc.alloc().unwrap();
+/// let b = alloc.alloc().unwrap();
+/// assert_ne!(a, b);
+/// alloc.free(a);
+/// assert_eq!(alloc.alloc(), Some(a)); // free list is LIFO
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    start: Phys,
+    end: Phys,
+    next: Phys,
+    free: Vec<Phys>,
+    allocated: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator over the physical range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not page-aligned.
+    pub fn new(start: Phys, end: Phys) -> Self {
+        assert!(start < end, "empty frame range {start:#x}..{end:#x}");
+        assert_eq!(start % PAGE_SIZE, 0, "unaligned range start");
+        assert_eq!(end % PAGE_SIZE, 0, "unaligned range end");
+        Self {
+            start,
+            end,
+            next: start,
+            free: Vec::new(),
+            allocated: 0,
+        }
+    }
+
+    /// Allocates one frame, or `None` if the range is exhausted.
+    pub fn alloc(&mut self) -> Option<Phys> {
+        let frame = if let Some(f) = self.free.pop() {
+            f
+        } else if self.next < self.end {
+            let f = self.next;
+            self.next += PAGE_SIZE;
+            f
+        } else {
+            return None;
+        };
+        self.allocated += 1;
+        Some(frame)
+    }
+
+    /// Allocates `n` physically contiguous frames from the untouched tail
+    /// of the range, returning the base address. Used to carve backing
+    /// windows for VMs and CKI's delegated segments.
+    pub fn alloc_contiguous(&mut self, n: u64) -> Option<Phys> {
+        let bytes = n.checked_mul(PAGE_SIZE)?;
+        if self.next + bytes > self.end {
+            return None;
+        }
+        let base = self.next;
+        self.next += bytes;
+        self.allocated += n;
+        Some(base)
+    }
+
+    /// Returns a frame to the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is outside the managed range or unaligned.
+    pub fn free(&mut self, frame: Phys) {
+        assert!(
+            (self.start..self.end).contains(&frame) && frame % PAGE_SIZE == 0,
+            "freeing foreign frame {frame:#x}"
+        );
+        self.allocated = self.allocated.saturating_sub(1);
+        self.free.push(frame);
+    }
+
+    /// Number of frames currently handed out.
+    pub fn in_use(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Number of frames still allocatable.
+    pub fn available(&self) -> u64 {
+        (self.end - self.next) / PAGE_SIZE + self.free.len() as u64
+    }
+
+    /// Total capacity in frames.
+    pub fn capacity(&self) -> u64 {
+        (self.end - self.start) / PAGE_SIZE
+    }
+
+    /// True if `frame` lies inside the managed range.
+    pub fn contains(&self, frame: Phys) -> bool {
+        (self.start..self.end).contains(&frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustion() {
+        let mut a = FrameAllocator::new(0, 3 * PAGE_SIZE);
+        assert_eq!(a.alloc(), Some(0));
+        assert_eq!(a.alloc(), Some(PAGE_SIZE));
+        assert_eq!(a.alloc(), Some(2 * PAGE_SIZE));
+        assert_eq!(a.alloc(), None);
+        assert_eq!(a.in_use(), 3);
+        a.free(PAGE_SIZE);
+        assert_eq!(a.available(), 1);
+        assert_eq!(a.alloc(), Some(PAGE_SIZE));
+    }
+
+    #[test]
+    fn contiguous_carving() {
+        let mut a = FrameAllocator::new(0, 16 * PAGE_SIZE);
+        let single = a.alloc().unwrap();
+        let base = a.alloc_contiguous(8).unwrap();
+        assert_eq!(base % PAGE_SIZE, 0);
+        assert!(base > single);
+        assert_eq!(a.in_use(), 9);
+        assert!(a.alloc_contiguous(100).is_none());
+        // Singles still come from what remains.
+        assert!(a.alloc().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign frame")]
+    fn foreign_free_panics() {
+        let mut a = FrameAllocator::new(0x1000, 0x2000);
+        a.free(0x8000);
+    }
+}

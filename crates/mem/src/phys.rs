@@ -1,0 +1,240 @@
+//! Sparse simulated physical memory.
+
+use std::collections::HashMap;
+
+use crate::addr::{page_offset, pfn, Phys, PAGE_SIZE};
+
+/// One 4 KiB physical frame of simulated memory.
+type Frame = Box<[u8; PAGE_SIZE as usize]>;
+
+/// Sparse simulated physical memory.
+///
+/// Frames are materialized on first write (or first read, which observes
+/// zeros, matching zeroed RAM handed out by a host allocator). All page
+/// tables, guest data pages, KSM metadata pages, and VirtIO rings used by
+/// the simulation live in here and are addressed by host physical address.
+///
+/// # Examples
+///
+/// ```
+/// use sim_mem::PhysMem;
+///
+/// let mut mem = PhysMem::new(1 << 30);
+/// mem.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x2000), 0); // untouched memory reads as zero
+/// ```
+pub struct PhysMem {
+    frames: HashMap<u64, Frame>,
+    size: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl PhysMem {
+    /// Creates a physical memory of `size` bytes (rounded up to a page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: u64) -> Self {
+        assert!(size > 0, "physical memory must be non-empty");
+        Self {
+            frames: HashMap::new(),
+            size: crate::addr::page_align_up(size),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Total size of the physical address space in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of frames actually materialized (resident set).
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of 8-byte reads performed (walk/statistics instrumentation).
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of 8-byte writes performed.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    #[inline]
+    fn check(&self, pa: Phys, len: u64) {
+        assert!(
+            pa.checked_add(len).is_some_and(|end| end <= self.size),
+            "physical access out of range: pa={pa:#x} len={len} size={:#x}",
+            self.size
+        );
+    }
+
+    /// Reads a naturally-aligned `u64` at physical address `pa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 8-byte aligned or out of range.
+    pub fn read_u64(&mut self, pa: Phys) -> u64 {
+        self.check(pa, 8);
+        assert_eq!(pa % 8, 0, "unaligned u64 read at {pa:#x}");
+        self.reads += 1;
+        match self.frames.get(&pfn(pa)) {
+            Some(f) => {
+                let off = page_offset(pa) as usize;
+                u64::from_le_bytes(f[off..off + 8].try_into().expect("8-byte slice"))
+            }
+            None => 0,
+        }
+    }
+
+    /// Writes a naturally-aligned `u64` at physical address `pa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 8-byte aligned or out of range.
+    pub fn write_u64(&mut self, pa: Phys, value: u64) {
+        self.check(pa, 8);
+        assert_eq!(pa % 8, 0, "unaligned u64 write at {pa:#x}");
+        self.writes += 1;
+        let frame = self.frame_mut(pa);
+        let off = page_offset(pa) as usize;
+        frame[off..off + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads a single byte.
+    pub fn read_u8(&mut self, pa: Phys) -> u8 {
+        self.check(pa, 1);
+        self.reads += 1;
+        match self.frames.get(&pfn(pa)) {
+            Some(f) => f[page_offset(pa) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes a single byte.
+    pub fn write_u8(&mut self, pa: Phys, value: u8) {
+        self.check(pa, 1);
+        self.writes += 1;
+        let frame = self.frame_mut(pa);
+        frame[page_offset(pa) as usize] = value;
+    }
+
+    /// Copies `buf.len()` bytes out of physical memory starting at `pa`.
+    ///
+    /// The range may span frames but must stay inside the address space.
+    pub fn read_bytes(&mut self, pa: Phys, buf: &mut [u8]) {
+        self.check(pa, buf.len() as u64);
+        self.reads += 1;
+        let mut cur = pa;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let off = page_offset(cur) as usize;
+            let take = usize::min(buf.len() - done, PAGE_SIZE as usize - off);
+            match self.frames.get(&pfn(cur)) {
+                Some(f) => buf[done..done + take].copy_from_slice(&f[off..off + take]),
+                None => buf[done..done + take].fill(0),
+            }
+            done += take;
+            cur += take as u64;
+        }
+    }
+
+    /// Copies `buf` into physical memory starting at `pa`.
+    pub fn write_bytes(&mut self, pa: Phys, buf: &[u8]) {
+        self.check(pa, buf.len() as u64);
+        self.writes += 1;
+        let mut cur = pa;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let off = page_offset(cur) as usize;
+            let take = usize::min(buf.len() - done, PAGE_SIZE as usize - off);
+            let frame = self.frame_mut(cur);
+            frame[off..off + take].copy_from_slice(&buf[done..done + take]);
+            done += take;
+            cur += take as u64;
+        }
+    }
+
+    /// Zero-fills the frame containing `pa` (used when handing pages out).
+    pub fn zero_frame(&mut self, pa: Phys) {
+        self.check(pa, PAGE_SIZE);
+        if let Some(f) = self.frames.get_mut(&pfn(pa)) {
+            f.fill(0);
+        }
+        // An absent frame already reads as zero.
+    }
+
+    fn frame_mut(&mut self, pa: Phys) -> &mut Frame {
+        self.frames
+            .entry(pfn(pa))
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+}
+
+impl std::fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysMem")
+            .field("size", &self.size)
+            .field("resident_frames", &self.frames.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let mut m = PhysMem::new(1 << 20);
+        assert_eq!(m.read_u64(0x8000), 0);
+        assert_eq!(m.resident_frames(), 0);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut m = PhysMem::new(1 << 20);
+        m.write_u64(0x1008, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(0x1008), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(0x1000), 0);
+    }
+
+    #[test]
+    fn byte_ops_cross_page() {
+        let mut m = PhysMem::new(1 << 20);
+        let data: Vec<u8> = (0..8192).map(|i| (i % 251) as u8).collect();
+        m.write_bytes(0xff0, &data);
+        let mut out = vec![0u8; 8192];
+        m.read_bytes(0xff0, &mut out);
+        assert_eq!(data, out);
+    }
+
+    #[test]
+    fn zero_frame_clears() {
+        let mut m = PhysMem::new(1 << 20);
+        m.write_u64(0x3000, 42);
+        m.zero_frame(0x3000);
+        assert_eq!(m.read_u64(0x3000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut m = PhysMem::new(1 << 20);
+        m.read_u64(1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_u64_panics() {
+        let mut m = PhysMem::new(1 << 20);
+        m.read_u64(0x1001);
+    }
+}

@@ -1,0 +1,153 @@
+//! x86-64 page-table-entry encoding, including protection-key bits.
+//!
+//! The layout follows the Intel SDM: the physical address occupies bits
+//! 51:12, the protection key occupies bits 62:59 (for leaf entries, when
+//! CR4.PKE/PKS is enabled), and NX is bit 63. MPK divides the pages of an
+//! address space into at most 16 domains identified by these four bits
+//! (paper §2.3).
+
+/// Present.
+pub const P: u64 = 1 << 0;
+/// Writable.
+pub const W: u64 = 1 << 1;
+/// User-accessible (U/K bit). CKI maps guest-kernel memory with U=0 inside
+/// guest user address spaces, replacing the page-table switch on syscalls
+/// (paper §3.3).
+pub const U: u64 = 1 << 2;
+/// Write-through (unused by the simulation, kept for fidelity).
+pub const PWT: u64 = 1 << 3;
+/// Cache-disable (unused by the simulation, kept for fidelity).
+pub const PCD: u64 = 1 << 4;
+/// Accessed.
+pub const A: u64 = 1 << 5;
+/// Dirty (leaf entries).
+pub const D: u64 = 1 << 6;
+/// Page size: set on a PD entry to map a 2 MiB huge page.
+pub const PS: u64 = 1 << 7;
+/// Global (exempt from PCID-tagged flushes).
+pub const G: u64 = 1 << 8;
+/// No-execute.
+pub const NX: u64 = 1 << 63;
+
+/// Mask of the physical-address field (bits 51:12).
+pub const ADDR_MASK: u64 = 0x000f_ffff_ffff_f000;
+
+/// First bit of the 4-bit protection key field.
+pub const PKEY_SHIFT: u64 = 59;
+
+/// Mask of the protection key field (bits 62:59).
+pub const PKEY_MASK: u64 = 0xf << PKEY_SHIFT;
+
+/// Extracts the physical address referenced by a PTE.
+#[inline]
+pub const fn addr(entry: u64) -> u64 {
+    entry & ADDR_MASK
+}
+
+/// Extracts the protection key (0..=15) of a leaf PTE.
+#[inline]
+pub const fn pkey(entry: u64) -> u8 {
+    ((entry & PKEY_MASK) >> PKEY_SHIFT) as u8
+}
+
+/// Returns `entry` with its protection key replaced by `key`.
+///
+/// # Panics
+///
+/// Panics if `key > 15` (the field is four bits wide).
+#[inline]
+pub fn with_pkey(entry: u64, key: u8) -> u64 {
+    assert!(key <= 15, "protection key out of range: {key}");
+    (entry & !PKEY_MASK) | ((key as u64) << PKEY_SHIFT)
+}
+
+/// Builds a PTE from a physical address and flag bits.
+///
+/// # Panics
+///
+/// Panics if `pa` has bits outside the address field.
+#[inline]
+pub fn make(pa: u64, flags: u64) -> u64 {
+    assert_eq!(pa & !ADDR_MASK, 0, "address {pa:#x} outside PTE field");
+    pa | flags
+}
+
+/// True if the entry is present.
+#[inline]
+pub const fn present(entry: u64) -> bool {
+    entry & P != 0
+}
+
+/// True if the entry permits writes.
+#[inline]
+pub const fn writable(entry: u64) -> bool {
+    entry & W != 0
+}
+
+/// True if the entry permits user-mode access.
+#[inline]
+pub const fn user(entry: u64) -> bool {
+    entry & U != 0
+}
+
+/// True if the entry maps a huge page (valid on PD-level entries).
+#[inline]
+pub const fn huge(entry: u64) -> bool {
+    entry & PS != 0
+}
+
+/// Page-fault error code bits (x86-64 `#PF` pushes these).
+pub mod fault_code {
+    /// Fault was caused by a present-page protection violation (vs not-present).
+    pub const PRESENT: u64 = 1 << 0;
+    /// Fault was caused by a write access.
+    pub const WRITE: u64 = 1 << 1;
+    /// Fault happened in user mode.
+    pub const USER: u64 = 1 << 2;
+    /// Fault was caused by an instruction fetch.
+    pub const INSTR: u64 = 1 << 4;
+    /// Fault was caused by a protection-key violation.
+    pub const PK: u64 = 1 << 5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pkey_roundtrip() {
+        for key in 0..=15u8 {
+            let e = with_pkey(make(0x1234_5000, P | W | U), key);
+            assert_eq!(pkey(e), key);
+            assert_eq!(addr(e), 0x1234_5000);
+            assert!(present(e) && writable(e) && user(e));
+        }
+    }
+
+    #[test]
+    fn pkey_does_not_clobber_nx() {
+        let e = with_pkey(make(0x1000, P) | NX, 7);
+        assert_eq!(e & NX, NX);
+        assert_eq!(pkey(e), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pkey_16_rejected() {
+        with_pkey(P, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside PTE field")]
+    fn addr_overflow_rejected() {
+        make(1 << 62, P);
+    }
+
+    #[test]
+    fn flag_predicates() {
+        let e = make(0x2000, P | PS);
+        assert!(huge(e));
+        assert!(!user(e));
+        assert!(!writable(e));
+    }
+}

@@ -1,0 +1,204 @@
+//! Contiguous physical-segment allocator.
+//!
+//! CKI removes two-stage address translation: the host kernel hands each
+//! secure container "some contiguous segments of hPA that are directly
+//! managed by the memory manager in the guest kernel" (paper §3.3). The
+//! guest kernel fills real hPAs into its PTEs, and the KSM validates that
+//! every mapping stays inside the delegated segments.
+//!
+//! The paper notes the resulting limitation — fragmentation can lower
+//! memory utilization (§4.3) — which [`SegmentAllocator::fragmentation`]
+//! makes observable.
+
+use crate::addr::{Phys, PAGE_SIZE};
+
+/// A contiguous range of host physical memory delegated to one container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First byte of the segment (page-aligned).
+    pub start: Phys,
+    /// One past the last byte (page-aligned).
+    pub end: Phys,
+}
+
+impl Segment {
+    /// Length of the segment in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True if the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// True if `pa` lies inside the segment.
+    pub fn contains(&self, pa: Phys) -> bool {
+        (self.start..self.end).contains(&pa)
+    }
+}
+
+/// First-fit allocator of contiguous physical segments.
+///
+/// # Examples
+///
+/// ```
+/// use sim_mem::SegmentAllocator;
+///
+/// let mut alloc = SegmentAllocator::new(0x100000, 0x900000);
+/// let seg = alloc.alloc(0x200000).unwrap();
+/// assert_eq!(seg.len(), 0x200000);
+/// alloc.free(seg);
+/// assert_eq!(alloc.free_bytes(), 0x800000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentAllocator {
+    /// Sorted, coalesced free list.
+    free: Vec<Segment>,
+    total: u64,
+}
+
+impl SegmentAllocator {
+    /// Creates an allocator over `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or unaligned.
+    pub fn new(start: Phys, end: Phys) -> Self {
+        assert!(start < end, "empty segment range");
+        assert_eq!(start % PAGE_SIZE, 0, "unaligned range start");
+        assert_eq!(end % PAGE_SIZE, 0, "unaligned range end");
+        Self {
+            free: vec![Segment { start, end }],
+            total: end - start,
+        }
+    }
+
+    /// Allocates a contiguous segment of `len` bytes (rounded up to pages).
+    ///
+    /// Returns `None` when no single free extent is large enough — which can
+    /// happen even when `free_bytes() >= len` (external fragmentation).
+    pub fn alloc(&mut self, len: u64) -> Option<Segment> {
+        let len = crate::addr::page_align_up(len.max(PAGE_SIZE));
+        let idx = self.free.iter().position(|s| s.len() >= len)?;
+        let seg = self.free[idx];
+        let out = Segment {
+            start: seg.start,
+            end: seg.start + len,
+        };
+        if seg.len() == len {
+            self.free.remove(idx);
+        } else {
+            self.free[idx].start += len;
+        }
+        Some(out)
+    }
+
+    /// Returns a segment to the free list, coalescing neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment overlaps an already-free extent.
+    pub fn free(&mut self, seg: Segment) {
+        assert!(!seg.is_empty(), "freeing empty segment");
+        let pos = self.free.partition_point(|s| s.start < seg.start);
+        if pos > 0 {
+            assert!(self.free[pos - 1].end <= seg.start, "double free (left)");
+        }
+        if pos < self.free.len() {
+            assert!(seg.end <= self.free[pos].start, "double free (right)");
+        }
+        self.free.insert(pos, seg);
+        // Coalesce with right then left neighbour.
+        if pos + 1 < self.free.len() && self.free[pos].end == self.free[pos + 1].start {
+            self.free[pos].end = self.free[pos + 1].end;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].end == self.free[pos].start {
+            self.free[pos - 1].end = self.free[pos].end;
+            self.free.remove(pos);
+        }
+    }
+
+    /// Total free bytes across all extents.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(Segment::len).sum()
+    }
+
+    /// Size of the largest allocatable contiguous extent.
+    pub fn largest_extent(&self) -> u64 {
+        self.free.iter().map(Segment::len).max().unwrap_or(0)
+    }
+
+    /// External fragmentation in `[0, 1]`: `1 - largest_extent/free_bytes`.
+    ///
+    /// Zero means all free memory is one extent; values near one mean the
+    /// free memory is shattered — the utilization limitation the paper
+    /// acknowledges for CKI's contiguous delegation (§4.3).
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_bytes();
+        if free == 0 {
+            0.0
+        } else {
+            1.0 - self.largest_extent() as f64 / free as f64
+        }
+    }
+
+    /// Total bytes managed (free + allocated).
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_coalesce() {
+        let mut a = SegmentAllocator::new(0, 0x10000);
+        let s1 = a.alloc(0x4000).unwrap();
+        let s2 = a.alloc(0x4000).unwrap();
+        let s3 = a.alloc(0x4000).unwrap();
+        assert_eq!(a.free_bytes(), 0x4000);
+        a.free(s1);
+        a.free(s3);
+        assert_eq!(a.free_bytes(), 0xc000);
+        // s2 still held: free memory split into two extents.
+        assert_eq!(a.largest_extent(), 0x8000);
+        assert!(a.fragmentation() > 0.0);
+        a.free(s2);
+        assert_eq!(a.free_bytes(), 0x10000);
+        assert_eq!(a.largest_extent(), 0x10000);
+        assert_eq!(a.fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn fragmentation_blocks_large_alloc() {
+        let mut a = SegmentAllocator::new(0, 0x10000);
+        let segs: Vec<_> = (0..8).map(|_| a.alloc(0x2000).unwrap()).collect();
+        // Free every other segment: 0x8000 free but max extent 0x2000.
+        for s in segs.iter().step_by(2) {
+            a.free(*s);
+        }
+        assert_eq!(a.free_bytes(), 0x8000);
+        assert!(a.alloc(0x4000).is_none());
+        assert!(a.alloc(0x2000).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn overlapping_free_panics() {
+        let mut a = SegmentAllocator::new(0, 0x10000);
+        let s = a.alloc(0x2000).unwrap();
+        a.free(s);
+        a.free(s);
+    }
+
+    #[test]
+    fn rounds_up_to_pages() {
+        let mut a = SegmentAllocator::new(0, 0x10000);
+        let s = a.alloc(1).unwrap();
+        assert_eq!(s.len(), PAGE_SIZE);
+    }
+}

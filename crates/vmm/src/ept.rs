@@ -1,0 +1,164 @@
+//! Extended page tables: the second translation stage of HVM.
+//!
+//! A real 4-level table in simulated host memory maps guest-physical to
+//! host-physical addresses. It is populated lazily, so first-touch accesses
+//! raise EPT violations with their full handling cost — the "EPT fault"
+//! component of Figure 10a. With `huge_pages`, stage-2 mappings are 2 MiB,
+//! amortizing the fault cost 512× (the Figure 12 "2M" configurations).
+
+use sim_hw::cpu::Stage2;
+use sim_hw::{Clock, Fault, Machine};
+use sim_mem::addr::HUGE_PAGE_SIZE;
+use sim_mem::{MapFlags, PageTables, Phys, PhysMem, WalkError, PAGE_SIZE};
+
+/// The EPT for one VM.
+///
+/// VM memory is backed by one contiguous host window (`gPA = hPA - base`);
+/// contiguity of the *backing* does not change walk behaviour — the table
+/// is still consulted translation by translation.
+#[derive(Debug)]
+pub struct Ept {
+    root: Phys,
+    /// Host base of the VM memory window.
+    pub base: Phys,
+    /// VM memory size in bytes.
+    pub size: u64,
+    /// Map 2 MiB stage-2 pages instead of 4 KiB.
+    pub huge_pages: bool,
+    /// EPT violations taken.
+    pub violations: u64,
+    /// Stage-2 mappings established.
+    pub mappings: u64,
+}
+
+impl Ept {
+    /// Creates an empty EPT over the window `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine cannot allocate the root table.
+    pub fn new(m: &mut Machine, base: Phys, size: u64) -> Self {
+        let Machine { mem, frames, .. } = m;
+        let root = PageTables::new_root(mem, &mut || frames.alloc()).expect("EPT root");
+        Self { root, base, size, huge_pages: false, violations: 0, mappings: 0 }
+    }
+
+    /// Enables 2 MiB stage-2 mappings.
+    pub fn with_huge_pages(mut self, on: bool) -> Self {
+        self.huge_pages = on;
+        self
+    }
+
+    /// Software gPA→hPA shortcut for trusted simulation code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpa` is outside the VM window.
+    pub fn sw_translate(&self, gpa: Phys) -> Phys {
+        assert!(gpa < self.size, "gPA {gpa:#x} outside VM of {:#x} bytes", self.size);
+        self.base + gpa
+    }
+
+    /// Establishes the stage-2 mapping covering `gpa` (4 KiB or 2 MiB).
+    ///
+    /// Returns `false` if it was already mapped (spurious fault).
+    pub fn map_gpa(&mut self, m: &mut Machine, gpa: Phys) -> bool {
+        let flags = MapFlags { write: true, user: true, nx: false, global: false, pkey: 0 };
+        let Machine { mem, frames, .. } = m;
+        let r = if self.huge_pages {
+            let g = gpa & !(HUGE_PAGE_SIZE - 1);
+            PageTables::map_huge(mem, self.root, g, self.base + g, flags, &mut || frames.alloc())
+        } else {
+            let g = gpa & !(PAGE_SIZE - 1);
+            PageTables::map(mem, self.root, g, self.base + g, flags, &mut || frames.alloc())
+        };
+        if r.is_ok() {
+            self.mappings += 1;
+        }
+        r.is_ok()
+    }
+
+    /// Removes all stage-2 mappings (used by tests and VM teardown).
+    pub fn reset(&mut self, m: &mut Machine) {
+        guest_os::platform::free_table_recursive(m, self.root, 4);
+        let Machine { mem, frames, .. } = m;
+        self.root = PageTables::new_root(mem, &mut || frames.alloc()).expect("EPT root");
+        self.mappings = 0;
+    }
+}
+
+impl Stage2 for Ept {
+    fn translate(
+        &mut self,
+        mem: &mut PhysMem,
+        gpa: Phys,
+        write: bool,
+        _clock: &mut Clock,
+    ) -> Result<Phys, Fault> {
+        // The per-level cost is charged by the CPU walk (`stage2_load`),
+        // modelling paging-structure caches; this walk provides semantics.
+        match PageTables::walk(mem, self.root, gpa) {
+            Ok(w) => Ok(w.pa),
+            Err(WalkError::NotPresent { .. }) => {
+                self.violations += 1;
+                Err(Fault::EptViolation { gpa, write })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_hw::HwExtensions;
+
+    fn machine() -> Machine {
+        Machine::new(512 * 1024 * 1024, HwExtensions::baseline())
+    }
+
+    #[test]
+    fn violation_then_mapping() {
+        let mut m = machine();
+        let mut ept = Ept::new(&mut m, 0x800_0000, 64 * 1024 * 1024);
+        let mut clock = Clock::default();
+        let err = ept.translate(&mut m.mem, 0x1000, false, &mut clock).unwrap_err();
+        assert!(matches!(err, Fault::EptViolation { gpa: 0x1000, .. }));
+        assert!(ept.map_gpa(&mut m, 0x1000));
+        let pa = ept.translate(&mut m.mem, 0x1234, false, &mut clock).unwrap();
+        assert_eq!(pa, 0x800_0000 + 0x1234);
+        assert_eq!(ept.violations, 1);
+    }
+
+    #[test]
+    fn huge_mapping_covers_2mib() {
+        let mut m = machine();
+        let mut ept = Ept::new(&mut m, 0x800_0000, 64 * 1024 * 1024).with_huge_pages(true);
+        assert!(ept.map_gpa(&mut m, 0x30_1000));
+        let mut clock = Clock::default();
+        // The whole 2 MiB region around 0x30_1000 translates now.
+        let lo = 0x20_0000u64;
+        for off in [0u64, 0x1000, 0x1f_f000] {
+            let pa = ept.translate(&mut m.mem, lo + off, false, &mut clock).unwrap();
+            assert_eq!(pa, 0x800_0000 + lo + off);
+        }
+        // Next 2 MiB still faults.
+        assert!(ept.translate(&mut m.mem, 0x40_0000, false, &mut clock).is_err());
+    }
+
+    #[test]
+    fn double_map_is_spurious() {
+        let mut m = machine();
+        let mut ept = Ept::new(&mut m, 0x800_0000, 64 * 1024 * 1024);
+        assert!(ept.map_gpa(&mut m, 0x5000));
+        assert!(!ept.map_gpa(&mut m, 0x5000));
+        assert_eq!(ept.mappings, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside VM")]
+    fn sw_translate_bounds() {
+        let mut m = machine();
+        let ept = Ept::new(&mut m, 0x800_0000, 1024 * 1024);
+        ept.sw_translate(2 * 1024 * 1024);
+    }
+}

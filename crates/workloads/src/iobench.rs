@@ -1,0 +1,185 @@
+//! I/O-intensive server workloads (paper Figure 5): nginx (static and
+//! proxy), httpd, and netperf (TX / RR).
+//!
+//! Like the KV servers, these run a request loop against the closed-loop
+//! client fleet attached to the platform's network backend. Each server's
+//! per-request kernel/engine profile follows the real application:
+//!
+//! - **nginx static**: accept → parse → `stat` + `pread` the file (page
+//!   cache) → send. Efficient event loop, modest engine work.
+//! - **nginx proxy**: double the network work (client + upstream legs).
+//! - **httpd (Apache)**: heavier per-request engine work than nginx.
+//! - **netperf TX**: bulk streaming send throughput.
+//! - **netperf RR**: 1-byte request/response latency-bound throughput.
+
+use guest_os::{Env, Errno, Fd, Sys};
+
+use crate::report::{Probe, Report};
+
+/// One I/O server case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoCase {
+    /// nginx serving a static file.
+    NginxStatic,
+    /// nginx as a reverse proxy.
+    NginxProxy,
+    /// Apache httpd serving a static file.
+    Httpd,
+    /// netperf bulk transmit.
+    NetperfTx,
+    /// netperf request/response.
+    NetperfRr,
+}
+
+impl IoCase {
+    /// The five cases in the figure's order.
+    pub const ALL: [IoCase; 5] = [
+        IoCase::NginxStatic,
+        IoCase::NginxProxy,
+        IoCase::Httpd,
+        IoCase::NetperfTx,
+        IoCase::NetperfRr,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IoCase::NginxStatic => "nginx(static)",
+            IoCase::NginxProxy => "nginx(proxy)",
+            IoCase::Httpd => "httpd",
+            IoCase::NetperfTx => "netperf(TX)",
+            IoCase::NetperfRr => "netperf(RR)",
+        }
+    }
+}
+
+/// The I/O server workload.
+pub struct IoWorkload {
+    /// Which server.
+    pub case: IoCase,
+    /// Requests (or 16 KiB send windows for TX) to complete.
+    pub requests: u64,
+}
+
+impl IoWorkload {
+    /// Creates a run.
+    pub fn new(case: IoCase, requests: u64) -> Self {
+        Self { case, requests }
+    }
+
+    /// Runs the server loop.
+    pub fn run(&mut self, env: &mut Env<'_>) -> Result<Report, Errno> {
+        let sock = env.sys(Sys::NetSocket)? as Fd;
+        let buf = env.mmap(64 * 1024)?;
+        env.touch_range(buf, 64 * 1024, true)?;
+        // The served file, warmed into the page cache.
+        let file = env.sys(Sys::Open { path: "/www/index.html", create: true, trunc: true })? as Fd;
+        env.sys(Sys::Write { fd: file, buf, len: 8192 })?;
+
+        let probe = Probe::start(env);
+        match self.case {
+            IoCase::NginxStatic => {
+                for _ in 0..self.requests {
+                    env.sys(Sys::NetRecv { fd: sock, buf, len: 200 })?;
+                    env.compute(2200); // parse + route
+                    env.sys(Sys::Stat { path: "/www/index.html" })?;
+                    env.sys(Sys::Pread { fd: file, buf, len: 8192, offset: 0 })?;
+                    env.sys(Sys::NetSend { fd: sock, buf, len: 8192 })?;
+                }
+            }
+            IoCase::NginxProxy => {
+                for _ in 0..self.requests {
+                    env.sys(Sys::NetRecv { fd: sock, buf, len: 200 })?;
+                    env.compute(2600);
+                    // Upstream leg: send the request on, receive the body.
+                    env.sys(Sys::NetSend { fd: sock, buf, len: 220 })?;
+                    env.sys(Sys::NetRecv { fd: sock, buf, len: 8192 })?;
+                    env.compute(900);
+                    env.sys(Sys::NetSend { fd: sock, buf, len: 8192 })?;
+                }
+            }
+            IoCase::Httpd => {
+                for _ in 0..self.requests {
+                    env.sys(Sys::NetRecv { fd: sock, buf, len: 200 })?;
+                    env.compute(7800); // per-request mpm + filter chain
+                    env.sys(Sys::Stat { path: "/www/index.html" })?;
+                    env.sys(Sys::Pread { fd: file, buf, len: 8192, offset: 0 })?;
+                    env.sys(Sys::NetSend { fd: sock, buf, len: 8192 })?;
+                }
+            }
+            IoCase::NetperfTx => {
+                // Bulk streaming: one 16 KiB send per window, flush every 4.
+                for i in 0..self.requests {
+                    env.sys(Sys::NetSend { fd: sock, buf, len: 16 * 1024 })?;
+                    env.compute(300);
+                    if i % 4 == 3 {
+                        env.sys(Sys::NetFlush { fd: sock })?;
+                    }
+                }
+            }
+            IoCase::NetperfRr => {
+                for _ in 0..self.requests {
+                    env.sys(Sys::NetRecv { fd: sock, buf, len: 1 })?;
+                    env.compute(120);
+                    env.sys(Sys::NetSend { fd: sock, buf, len: 1 })?;
+                }
+            }
+        }
+        env.sys(Sys::NetFlush { fd: sock })?;
+        Ok(probe.finish(env, self.case.name(), self.requests))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guest_os::Kernel;
+    use sim_hw::{HwExtensions, Machine};
+    use vmm::{HvmPlatform, PvmPlatform};
+
+    fn run_on_pvm(case: IoCase) -> Report {
+        let mut m = Machine::new(1024 * 1024 * 1024, HwExtensions::baseline());
+        let p = PvmPlatform::new(&mut m, false).with_clients(16);
+        let mut k = Kernel::boot(Box::new(p), &mut m);
+        let mut env = Env::new(&mut k, &mut m);
+        IoWorkload::new(case, 500).run(&mut env).unwrap()
+    }
+
+    #[test]
+    fn all_cases_complete() {
+        for case in IoCase::ALL {
+            let r = run_on_pvm(case);
+            assert_eq!(r.ops, 500, "{}", case.name());
+            assert!(r.ops_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn nested_hvm_collapses_rr_throughput() {
+        // netperf RR is a single request/response stream (1 client): every
+        // transaction pays the full notification path, unamortized.
+        let mut m = Machine::new(2048 * 1024 * 1024, HwExtensions::baseline());
+        let p = HvmPlatform::new(&mut m, 256 * 1024 * 1024, true).with_clients(1);
+        let mut k = Kernel::boot(Box::new(p), &mut m);
+        let mut env = Env::new(&mut k, &mut m);
+        let nst = IoWorkload::new(IoCase::NetperfRr, 500).run(&mut env).unwrap();
+        let mut m2 = Machine::new(1024 * 1024 * 1024, HwExtensions::baseline());
+        let p2 = PvmPlatform::new(&mut m2, true).with_clients(1);
+        let mut k2 = Kernel::boot(Box::new(p2), &mut m2);
+        let mut env2 = Env::new(&mut k2, &mut m2);
+        let pvm = IoWorkload::new(IoCase::NetperfRr, 500).run(&mut env2).unwrap();
+        assert!(
+            pvm.ops_per_sec() > 1.8 * nst.ops_per_sec(),
+            "PVM {} vs HVM-NST {} (paper: 1.8×-4.3×)",
+            pvm.ops_per_sec(),
+            nst.ops_per_sec()
+        );
+    }
+
+    #[test]
+    fn proxy_slower_than_static() {
+        let s = run_on_pvm(IoCase::NginxStatic);
+        let p = run_on_pvm(IoCase::NginxProxy);
+        assert!(p.ops_per_sec() < s.ops_per_sec());
+    }
+}

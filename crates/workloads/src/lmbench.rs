@@ -1,0 +1,207 @@
+//! The lmbench microbenchmark suite (paper Figure 11).
+//!
+//! Ten cases: `read`, `write`, `stat`, `protfault`, `pagefault`,
+//! `fork/exit`, `fork/execve`, `ctxsw 2p/0k`, `pipe`, `AF_UNIX`.
+
+use guest_os::{flows, Env, Errno, Fd, Sys};
+
+use crate::report::{Probe, Report};
+
+/// One lmbench case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmCase {
+    /// 1-byte `read` from a cached file.
+    Read,
+    /// 1-byte `write` to a file.
+    Write,
+    /// `stat` of an existing path.
+    Stat,
+    /// Write to a write-protected page (SIGSEGV delivery).
+    ProtFault,
+    /// First touch of a fresh anonymous page.
+    PageFault,
+    /// fork + child exit + wait.
+    ForkExit,
+    /// fork + execve + exit + wait.
+    ForkExecve,
+    /// Two-process context switch (2p/0k).
+    Ctxsw2p,
+    /// Pipe round-trip latency.
+    Pipe,
+    /// AF_UNIX socket round-trip latency.
+    AfUnix,
+}
+
+impl LmCase {
+    /// All ten cases in the paper's Figure 11 order.
+    pub const ALL: [LmCase; 10] = [
+        LmCase::Read,
+        LmCase::Write,
+        LmCase::Stat,
+        LmCase::ProtFault,
+        LmCase::PageFault,
+        LmCase::ForkExit,
+        LmCase::ForkExecve,
+        LmCase::Ctxsw2p,
+        LmCase::Pipe,
+        LmCase::AfUnix,
+    ];
+
+    /// The case's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LmCase::Read => "read",
+            LmCase::Write => "write",
+            LmCase::Stat => "stat",
+            LmCase::ProtFault => "protfault",
+            LmCase::PageFault => "pagefault",
+            LmCase::ForkExit => "fork/exit",
+            LmCase::ForkExecve => "fork/execve",
+            LmCase::Ctxsw2p => "ctxsw 2p/0k",
+            LmCase::Pipe => "pipe",
+            LmCase::AfUnix => "AF_UNIX",
+        }
+    }
+}
+
+/// Runs one lmbench case for `iters` iterations, reporting ns/op.
+pub fn run_case(env: &mut Env<'_>, case: LmCase, iters: u64) -> Result<Report, Errno> {
+    match case {
+        LmCase::Read => {
+            let buf = env.mmap(4096)?;
+            env.touch(buf, true)?;
+            let fd = env.sys(Sys::Open { path: "/lm/read", create: true, trunc: false })? as Fd;
+            env.sys(Sys::Write { fd, buf, len: 4096 })?;
+            let probe = Probe::start(env);
+            for _ in 0..iters {
+                env.sys(Sys::Pread { fd, buf, len: 1, offset: 0 })?;
+            }
+            Ok(probe.finish(env, case.name(), iters))
+        }
+        LmCase::Write => {
+            let buf = env.mmap(4096)?;
+            env.touch(buf, true)?;
+            let fd = env.sys(Sys::Open { path: "/lm/write", create: true, trunc: false })? as Fd;
+            let probe = Probe::start(env);
+            for _ in 0..iters {
+                env.sys(Sys::Pwrite { fd, buf, len: 1, offset: 0 })?;
+            }
+            Ok(probe.finish(env, case.name(), iters))
+        }
+        LmCase::Stat => {
+            env.sys(Sys::Open { path: "/lm/stat", create: true, trunc: false })?;
+            let probe = Probe::start(env);
+            for _ in 0..iters {
+                env.sys(Sys::Stat { path: "/lm/stat" })?;
+            }
+            Ok(probe.finish(env, case.name(), iters))
+        }
+        LmCase::ProtFault => {
+            let page = env.mmap(4096)?;
+            env.touch(page, true)?;
+            env.sys(Sys::Mprotect { addr: page, len: 4096, write: false })?;
+            let probe = Probe::start(env);
+            for _ in 0..iters {
+                // Each write raises the protection fault + signal path.
+                let r = env.touch(page, true);
+                debug_assert_eq!(r, Err(Errno::Fault));
+            }
+            Ok(probe.finish(env, case.name(), iters))
+        }
+        LmCase::PageFault => {
+            // lmbench's lat_pagefault touches file pages that are already
+            // resident host-side: warm the frame pool so the measurement
+            // sees guest soft faults, not first-touch EPT/backing faults.
+            let warm = env.mmap(iters * 4096)?;
+            env.touch_range(warm, iters * 4096, true)?;
+            env.sys(Sys::Munmap { addr: warm, len: iters * 4096 })?;
+            let region = env.mmap(iters * 4096)?;
+            let probe = Probe::start(env);
+            for i in 0..iters {
+                env.touch(region + i * 4096, true)?;
+            }
+            Ok(probe.finish(env, case.name(), iters))
+        }
+        LmCase::ForkExit => {
+            let r = flows::fork_exit(env.kernel, env.machine, iters)?;
+            Ok(Report {
+                name: case.name().into(),
+                ops: r.iters,
+                ns: r.total_ns,
+                syscalls: 0,
+                pgfaults: 0,
+            })
+        }
+        LmCase::ForkExecve => {
+            let r = flows::fork_execve(env.kernel, env.machine, iters)?;
+            Ok(Report {
+                name: case.name().into(),
+                ops: r.iters,
+                ns: r.total_ns,
+                syscalls: 0,
+                pgfaults: 0,
+            })
+        }
+        LmCase::Ctxsw2p => {
+            let r = flows::ctxsw_2p(env.kernel, env.machine, iters)?;
+            Ok(Report {
+                name: case.name().into(),
+                ops: r.iters,
+                ns: r.total_ns,
+                syscalls: 0,
+                pgfaults: 0,
+            })
+        }
+        LmCase::Pipe => {
+            let r = flows::pingpong(env.kernel, env.machine, iters, false, 1)?;
+            Ok(Report {
+                name: case.name().into(),
+                ops: r.iters,
+                ns: r.total_ns,
+                syscalls: 0,
+                pgfaults: 0,
+            })
+        }
+        LmCase::AfUnix => {
+            let r = flows::pingpong(env.kernel, env.machine, iters, true, 1)?;
+            Ok(Report {
+                name: case.name().into(),
+                ops: r.iters,
+                ns: r.total_ns,
+                syscalls: 0,
+                pgfaults: 0,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guest_os::{Kernel, NativePlatform};
+    use sim_hw::{HwExtensions, Machine};
+
+    #[test]
+    fn all_cases_run_natively() {
+        for case in LmCase::ALL {
+            let mut m = Machine::new(1024 * 1024 * 1024, HwExtensions::baseline());
+            let mut k = Kernel::boot(Box::new(NativePlatform::new(1)), &mut m);
+            let mut env = Env::new(&mut k, &mut m);
+            let r = run_case(&mut env, case, 50).unwrap();
+            assert!(r.ns_per_op() > 0.0, "{}", case.name());
+        }
+    }
+
+    #[test]
+    fn relative_latencies_sane() {
+        let mut m = Machine::new(1024 * 1024 * 1024, HwExtensions::baseline());
+        let mut k = Kernel::boot(Box::new(NativePlatform::new(1)), &mut m);
+        let mut env = Env::new(&mut k, &mut m);
+        let read = run_case(&mut env, LmCase::Read, 200).unwrap().ns_per_op();
+        let pf = run_case(&mut env, LmCase::PageFault, 200).unwrap().ns_per_op();
+        let fork = run_case(&mut env, LmCase::ForkExit, 20).unwrap().ns_per_op();
+        assert!(read < pf, "read {read} < pagefault {pf}");
+        assert!(pf < fork, "pagefault {pf} < fork {fork}");
+        assert!((700.0..1500.0).contains(&pf), "native pagefault ≈ 1 µs: {pf}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Workload result reporting.
+
+/// The result of one workload run on one backend.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Workload name.
+    pub name: String,
+    /// Operations completed (meaning is workload-specific).
+    pub ops: u64,
+    /// Simulated elapsed nanoseconds.
+    pub ns: f64,
+    /// Syscalls issued during the measured phase.
+    pub syscalls: u64,
+    /// Page faults taken during the measured phase.
+    pub pgfaults: u64,
+}
+
+impl Report {
+    /// Nanoseconds per operation.
+    pub fn ns_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.ns / self.ops as f64
+        }
+    }
+
+    /// Operations per simulated second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.ns == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / (self.ns / 1e9)
+        }
+    }
+
+    /// Simulated seconds of total runtime.
+    pub fn seconds(&self) -> f64 {
+        self.ns / 1e9
+    }
+
+    /// Syscalls per second of simulated time (Figure 14's right axis).
+    pub fn syscall_rate(&self) -> f64 {
+        if self.ns == 0.0 {
+            0.0
+        } else {
+            self.syscalls as f64 / (self.ns / 1e9)
+        }
+    }
+}
+
+/// Captures kernel counters around a measured region.
+pub struct Probe {
+    mark_cycles: u64,
+    syscalls: u64,
+    pgfaults: u64,
+}
+
+impl Probe {
+    /// Starts a probe.
+    pub fn start(env: &guest_os::Env<'_>) -> Self {
+        Self {
+            mark_cycles: env.machine.cpu.clock.mark(),
+            syscalls: env.kernel.stats.syscalls,
+            pgfaults: env.kernel.stats.pgfaults,
+        }
+    }
+
+    /// Finishes the probe into a [`Report`].
+    pub fn finish(self, env: &guest_os::Env<'_>, name: &str, ops: u64) -> Report {
+        Report {
+            name: name.to_owned(),
+            ops,
+            ns: env.machine.cpu.clock.since_ns(self.mark_cycles),
+            syscalls: env.kernel.stats.syscalls - self.syscalls,
+            pgfaults: env.kernel.stats.pgfaults - self.pgfaults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let r = Report { name: "x".into(), ops: 1000, ns: 2e9, syscalls: 500, pgfaults: 0 };
+        assert_eq!(r.ns_per_op(), 2e6);
+        assert_eq!(r.ops_per_sec(), 500.0);
+        assert_eq!(r.syscall_rate(), 250.0);
+        assert_eq!(r.seconds(), 2.0);
+    }
+}

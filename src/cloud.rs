@@ -1,0 +1,266 @@
+//! Container-host orchestration: the machine-level view of a CKI cloud.
+//!
+//! [`CloudHost`] owns one machine and manages the lifecycle of many secure
+//! containers on it — start, run, stop — recycling each container's
+//! delegated physical segment on shutdown. This is the operational layer a
+//! deployment would script against, and it makes the paper's §4.3
+//! fragmentation limitation observable end-to-end: stop/start churn with
+//! mixed container sizes fragments the host's contiguous free memory.
+
+use std::collections::HashMap;
+
+use cki_core::{CkiConfig, CkiPlatform};
+use guest_os::{Env, Kernel};
+use sim_hw::{HwExtensions, Machine, Mode};
+use sim_mem::{Segment, SegmentAllocator, PAGE_SIZE};
+
+/// Identifier of a running container.
+pub type ContainerId = u32;
+
+/// Errors from host operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostError {
+    /// No contiguous segment of the requested size is free (possibly due
+    /// to fragmentation even when total free memory suffices — §4.3).
+    OutOfContiguousMemory,
+    /// Unknown container id.
+    NoSuchContainer,
+    /// PCID space exhausted (4096 contexts minus host/reserved).
+    OutOfPcids,
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::OutOfContiguousMemory => {
+                write!(f, "no contiguous segment available (fragmentation?)")
+            }
+            HostError::NoSuchContainer => write!(f, "no such container"),
+            HostError::OutOfPcids => write!(f, "PCID space exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// One running secure container.
+pub struct Container {
+    /// Id on this host.
+    pub id: ContainerId,
+    /// The guest kernel (platform inside).
+    pub kernel: Kernel,
+    /// The delegated segment (returned to the host on stop).
+    pub seg: Segment,
+}
+
+/// A host machine running CKI secure containers.
+pub struct CloudHost {
+    /// The machine.
+    pub machine: Machine,
+    segments: SegmentAllocator,
+    containers: HashMap<ContainerId, Container>,
+    next_id: ContainerId,
+    next_pcid: u16,
+    /// Containers started over the host's lifetime.
+    pub started: u64,
+    /// Containers stopped.
+    pub stopped: u64,
+}
+
+impl CloudHost {
+    /// Boots a host with `mem_bytes` of physical memory, reserving
+    /// `host_reserve_bytes` for the host kernel and KSM structures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation exceeds the machine.
+    pub fn new(mem_bytes: u64, host_reserve_bytes: u64) -> Self {
+        let mut machine = Machine::new(mem_bytes, HwExtensions::cki());
+        // Carve the delegatable pool; what remains in the machine allocator
+        // serves host-side allocations (KSM pages, root copies, ...).
+        let pool_bytes = mem_bytes - host_reserve_bytes;
+        let pool = machine
+            .frames
+            .alloc_contiguous(pool_bytes / PAGE_SIZE / 2)
+            .expect("delegatable pool");
+        let pool_len = pool_bytes / PAGE_SIZE / 2 * PAGE_SIZE;
+        Self {
+            machine,
+            segments: SegmentAllocator::new(pool, pool + pool_len),
+            containers: HashMap::new(),
+            next_id: 1,
+            next_pcid: 3,
+            started: 0,
+            stopped: 0,
+        }
+    }
+
+    /// Starts a secure container with a `seg_bytes` delegated segment.
+    pub fn start_container(&mut self, seg_bytes: u64) -> Result<ContainerId, HostError> {
+        let seg = self.segments.alloc(seg_bytes).ok_or(HostError::OutOfContiguousMemory)?;
+        if self.next_pcid >= 4095 {
+            self.segments.free(seg);
+            return Err(HostError::OutOfPcids);
+        }
+        let pcid = self.next_pcid;
+        self.next_pcid += 1;
+        let config = CkiConfig { seg_bytes, pcid, vcpus: 1, ..CkiConfig::default() };
+        let platform = CkiPlatform::new_with_segment(&mut self.machine, config, seg);
+        let kernel = Kernel::boot(Box::new(platform), &mut self.machine);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.containers.insert(id, Container { id, kernel, seg });
+        self.started += 1;
+        Ok(id)
+    }
+
+    /// Stops a container, returning its segment to the host pool.
+    pub fn stop_container(&mut self, id: ContainerId) -> Result<(), HostError> {
+        let c = self.containers.remove(&id).ok_or(HostError::NoSuchContainer)?;
+        // The segment is wiped and reclaimed; KSM host-side pages stay with
+        // the machine allocator (reused on the next boot).
+        self.machine.cpu.tlb.flush_pcid(pcid_of(&c));
+        self.segments.free(c.seg);
+        self.stopped += 1;
+        Ok(())
+    }
+
+    /// Runs `f` inside container `id` (switching the CPU to it first).
+    pub fn enter<R>(
+        &mut self,
+        id: ContainerId,
+        f: impl FnOnce(&mut Env<'_>) -> R,
+    ) -> Result<R, HostError> {
+        let c = self.containers.get_mut(&id).ok_or(HostError::NoSuchContainer)?;
+        let root = c.kernel.proc(c.kernel.current).aspace.root;
+        self.machine.cpu.mode = Mode::Kernel;
+        c.kernel
+            .platform
+            .load_root(&mut self.machine, root)
+            .map_err(|_| HostError::NoSuchContainer)?;
+        self.machine.cpu.mode = Mode::User;
+        let mut env = Env::new(&mut c.kernel, &mut self.machine);
+        Ok(f(&mut env))
+    }
+
+    /// Number of running containers.
+    pub fn running(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Free delegatable bytes (across all extents).
+    pub fn free_bytes(&self) -> u64 {
+        self.segments.free_bytes()
+    }
+
+    /// Largest startable container size right now.
+    pub fn largest_startable(&self) -> u64 {
+        self.segments.largest_extent()
+    }
+
+    /// External fragmentation of the delegatable pool (§4.3's limitation).
+    pub fn fragmentation(&self) -> f64 {
+        self.segments.fragmentation()
+    }
+}
+
+fn pcid_of(c: &Container) -> u16 {
+    c.kernel
+        .platform
+        .as_any()
+        .downcast_ref::<CkiPlatform>()
+        .map(|p| p.ksm.pcid)
+        .unwrap_or(0)
+}
+
+impl std::fmt::Debug for CloudHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudHost")
+            .field("running", &self.containers.len())
+            .field("free_bytes", &self.free_bytes())
+            .field("fragmentation", &self.fragmentation())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guest_os::Sys;
+
+    const MIB: u64 = 1024 * 1024;
+
+    fn host() -> CloudHost {
+        CloudHost::new(4096 * MIB, 512 * MIB)
+    }
+
+    #[test]
+    fn start_run_stop_cycle() {
+        let mut h = host();
+        let id = h.start_container(64 * MIB).unwrap();
+        assert_eq!(h.running(), 1);
+        let pid = h.enter(id, |env| env.sys(Sys::Getpid).unwrap()).unwrap();
+        assert_eq!(pid, 1);
+        let free_before = h.free_bytes();
+        h.stop_container(id).unwrap();
+        assert_eq!(h.running(), 0);
+        assert_eq!(h.free_bytes(), free_before + 64 * MIB);
+        assert_eq!(h.stop_container(id), Err(HostError::NoSuchContainer));
+    }
+
+    #[test]
+    fn many_containers_and_isolation() {
+        let mut h = host();
+        let ids: Vec<_> = (0..6).map(|_| h.start_container(64 * MIB).unwrap()).collect();
+        // Each container does private work.
+        for (i, &id) in ids.iter().enumerate() {
+            h.enter(id, |env| {
+                let base = env.mmap(64 * 1024).unwrap();
+                env.touch_range(base, 64 * 1024, true).unwrap();
+                assert!(env.kernel.stats.pgfaults >= 16, "container {i}");
+            })
+            .unwrap();
+        }
+        // Stop half; the rest keep working.
+        for &id in ids.iter().step_by(2) {
+            h.stop_container(id).unwrap();
+        }
+        assert_eq!(h.running(), 3);
+        for &id in ids.iter().skip(1).step_by(2) {
+            let pid = h.enter(id, |env| env.sys(Sys::Getpid).unwrap()).unwrap();
+            assert_eq!(pid, 1);
+        }
+    }
+
+    #[test]
+    fn fragmentation_blocks_large_container() {
+        let mut h = CloudHost::new(4096 * MIB, 512 * MIB);
+        let pool = h.free_bytes();
+        // Fill the pool with small containers...
+        let small = 128 * MIB;
+        let mut ids = Vec::new();
+        while h.free_bytes() >= small {
+            match h.start_container(small) {
+                Ok(id) => ids.push(id),
+                Err(_) => break,
+            }
+        }
+        assert!(ids.len() >= 8, "filled with {} containers", ids.len());
+        // ...stop every other one: plenty of free memory, all fragmented.
+        for &id in ids.iter().step_by(2) {
+            h.stop_container(id).unwrap();
+        }
+        let free = h.free_bytes();
+        assert!(free >= pool / 3);
+        assert!(h.fragmentation() > 0.4, "fragmentation {}", h.fragmentation());
+        // A container needing a contiguous chunk larger than any extent
+        // cannot start despite sufficient total free memory — §4.3.
+        assert!(free > 256 * MIB);
+        assert_eq!(
+            h.start_container(h.largest_startable() + small),
+            Err(HostError::OutOfContiguousMemory)
+        );
+        // But a small one still can.
+        assert!(h.start_container(small).is_ok());
+    }
+}

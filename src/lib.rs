@@ -1,0 +1,301 @@
+//! # CKI — Container Kernel Isolation
+//!
+//! A full-system reproduction of *"A Hardware-Software Co-Design for
+//! Efficient Secure Containers"* (EuroSys '25): the CKI secure-container
+//! architecture, the PKS hardware extensions it proposes (as a simulated
+//! machine), the baselines it compares against (RunC, HVM bare-metal and
+//! nested, PVM), and the workloads and harnesses that regenerate every
+//! table and figure of the paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cki::{Backend, Stack, StackConfig};
+//! use cki::guest_os::Sys;
+//!
+//! // Boot a CKI secure container and run a program in it.
+//! let mut stack = Stack::new(Backend::Cki, StackConfig::default());
+//! let mut env = stack.env();
+//! let pid = env.sys(Sys::Getpid).unwrap();
+//! assert_eq!(pid, 1);
+//!
+//! // Touch memory: demand paging through the KSM's PTE-update gate.
+//! let base = env.mmap(1 << 20).unwrap();
+//! env.touch_range(base, 1 << 20, true).unwrap();
+//! assert!(env.now_ns() > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! - [`sim_hw`] / [`sim_mem`]: the simulated machine (CPU with PKS + the
+//!   four CKI hardware extensions, MMU, PCID-tagged TLB, physical memory).
+//! - [`guest_os`]: the para-virtualized guest kernel.
+//! - [`vmm`]: the HVM and PVM baselines, VirtIO backends.
+//! - [`cki_core`]: the paper's contribution — KSM, PKS gates, policy.
+//! - This crate: [`Stack`] assembles machine + platform + kernel per
+//!   backend so workloads and benchmarks can treat them uniformly.
+
+pub mod cloud;
+
+pub use cki_core;
+pub use cloud::{CloudHost, Container, ContainerId, HostError};
+pub use guest_os;
+pub use sim_hw;
+pub use sim_mem;
+pub use vmm;
+
+use cki_core::{CkiConfig, CkiPlatform};
+use guest_os::{Env, Kernel, NativePlatform, Platform};
+use sim_hw::{HwExtensions, Machine};
+use vmm::{HvmPlatform, PvmPlatform};
+
+/// Which container design to boot (the paper's comparison axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// OS-level container: native shared kernel (RunC).
+    RunC,
+    /// Hardware-assisted VM container, bare-metal cloud (Kata/HVM).
+    HvmBm,
+    /// HVM with 2 MiB EPT mappings (Figure 12's "2M" variant).
+    HvmBm2M,
+    /// HVM inside an L1 VM (nested cloud).
+    HvmNested,
+    /// Software-virtualized container (PVM), bare-metal.
+    Pvm,
+    /// PVM in a nested cloud.
+    PvmNested,
+    /// CKI, bare-metal.
+    Cki,
+    /// CKI in a nested cloud (identical costs — the design's point).
+    CkiNested,
+    /// CKI without OPT2 (adds page-table switches to syscalls, §7.1).
+    CkiWoOpt2,
+    /// CKI without OPT3 (gates `sysret`/`swapgs` through PKS switches).
+    CkiWoOpt3,
+    /// CKI with PTI/IBRS left on the KSM gate (side-channel ablation).
+    CkiGateMitigated,
+    /// gVisor-style userspace kernel (Systrap + Sentry, §2.4.3).
+    Gvisor,
+    /// Proc-like LibOS container (Nabla-style, §2.4.3).
+    LibOs,
+}
+
+impl Backend {
+    /// All the standard comparison set (no ablations).
+    pub const COMPARISON: [Backend; 6] = [
+        Backend::HvmNested,
+        Backend::PvmNested,
+        Backend::RunC,
+        Backend::HvmBm,
+        Backend::Pvm,
+        Backend::Cki,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::RunC => "RunC",
+            Backend::HvmBm => "HVM-BM",
+            Backend::HvmBm2M => "HVM-BM-2M",
+            Backend::HvmNested => "HVM-NST",
+            Backend::Pvm => "PVM",
+            Backend::PvmNested => "PVM-NST",
+            Backend::Cki => "CKI",
+            Backend::CkiNested => "CKI-NST",
+            Backend::CkiWoOpt2 => "CKI-wo-OPT2",
+            Backend::CkiWoOpt3 => "CKI-wo-OPT3",
+            Backend::CkiGateMitigated => "CKI+PTI/IBRS",
+            Backend::Gvisor => "gVisor",
+            Backend::LibOs => "LibOS",
+        }
+    }
+
+    /// Whether this backend needs the CKI hardware extensions.
+    pub fn needs_cki_hw(&self) -> bool {
+        matches!(
+            self,
+            Backend::Cki
+                | Backend::CkiNested
+                | Backend::CkiWoOpt2
+                | Backend::CkiWoOpt3
+                | Backend::CkiGateMitigated
+        )
+    }
+}
+
+/// Stack sizing and client configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StackConfig {
+    /// Machine physical memory.
+    pub mem_bytes: u64,
+    /// VM / delegated-segment size for virtualized backends.
+    pub vm_bytes: u64,
+    /// Closed-loop clients attached to the NIC (0 = none).
+    pub clients: u32,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        Self {
+            mem_bytes: 2 * 1024 * 1024 * 1024,
+            vm_bytes: 512 * 1024 * 1024,
+            clients: 0,
+        }
+    }
+}
+
+/// A booted container stack: machine + platform + guest kernel.
+pub struct Stack {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// The guest kernel (with its platform inside).
+    pub kernel: Kernel,
+    /// Which backend this is.
+    pub backend: Backend,
+}
+
+impl Stack {
+    /// Boots `backend` with `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine cannot back the requested VM size.
+    pub fn new(backend: Backend, config: StackConfig) -> Self {
+        let ext = if backend.needs_cki_hw() {
+            HwExtensions::cki()
+        } else {
+            HwExtensions::baseline()
+        };
+        let mut machine = Machine::new(config.mem_bytes, ext);
+        let platform: Box<dyn Platform> = match backend {
+            Backend::RunC => Box::new(NativePlatform::new(1).with_clients(config.clients)),
+            Backend::HvmBm => Box::new(
+                HvmPlatform::new(&mut machine, config.vm_bytes, false)
+                    .with_clients(config.clients),
+            ),
+            Backend::HvmBm2M => Box::new(
+                HvmPlatform::new(&mut machine, config.vm_bytes, false)
+                    .with_huge_ept(true)
+                    .with_clients(config.clients),
+            ),
+            Backend::HvmNested => Box::new(
+                HvmPlatform::new(&mut machine, config.vm_bytes, true)
+                    .with_clients(config.clients),
+            ),
+            Backend::Pvm => {
+                Box::new(PvmPlatform::new(&mut machine, false).with_clients(config.clients))
+            }
+            Backend::PvmNested => {
+                Box::new(PvmPlatform::new(&mut machine, true).with_clients(config.clients))
+            }
+            Backend::Cki | Backend::CkiNested => {
+                let cfg = CkiConfig {
+                    nested: backend == Backend::CkiNested,
+                    seg_bytes: config.vm_bytes,
+                    ..CkiConfig::default()
+                };
+                Box::new(CkiPlatform::new(&mut machine, cfg).with_clients(config.clients))
+            }
+            Backend::CkiWoOpt2 => {
+                let cfg = CkiConfig {
+                    opt2_no_pt_switch: false,
+                    seg_bytes: config.vm_bytes,
+                    ..CkiConfig::default()
+                };
+                Box::new(CkiPlatform::new(&mut machine, cfg).with_clients(config.clients))
+            }
+            Backend::CkiWoOpt3 => {
+                let cfg = CkiConfig {
+                    opt3_direct_sysret: false,
+                    seg_bytes: config.vm_bytes,
+                    ..CkiConfig::default()
+                };
+                Box::new(CkiPlatform::new(&mut machine, cfg).with_clients(config.clients))
+            }
+            Backend::CkiGateMitigated => {
+                let cfg = CkiConfig {
+                    gate_sidechannel_mitigation: true,
+                    seg_bytes: config.vm_bytes,
+                    ..CkiConfig::default()
+                };
+                Box::new(CkiPlatform::new(&mut machine, cfg).with_clients(config.clients))
+            }
+            Backend::Gvisor => Box::new(
+                vmm::GvisorPlatform::new(&mut machine).with_clients(config.clients),
+            ),
+            Backend::LibOs => Box::new(vmm::LibOsPlatform::new(&mut machine)),
+        };
+        let kernel = Kernel::boot(platform, &mut machine);
+        Self { machine, kernel, backend }
+    }
+
+    /// The application environment for running workloads.
+    pub fn env(&mut self) -> Env<'_> {
+        Env::new(&mut self.kernel, &mut self.machine)
+    }
+
+    /// Elapsed simulated nanoseconds.
+    pub fn ns(&self) -> f64 {
+        self.machine.cpu.clock.ns()
+    }
+}
+
+impl std::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stack")
+            .field("backend", &self.backend.name())
+            .field("ns", &self.ns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guest_os::Sys;
+
+    #[test]
+    fn every_backend_boots_and_syscalls() {
+        for backend in [
+            Backend::RunC,
+            Backend::HvmBm,
+            Backend::HvmBm2M,
+            Backend::HvmNested,
+            Backend::Pvm,
+            Backend::PvmNested,
+            Backend::Cki,
+            Backend::CkiNested,
+            Backend::CkiWoOpt2,
+            Backend::CkiWoOpt3,
+            Backend::CkiGateMitigated,
+        ] {
+            let mut s = Stack::new(backend, StackConfig::default());
+            let mut env = s.env();
+            assert_eq!(env.sys(Sys::Getpid).unwrap(), 1, "{}", backend.name());
+            let base = env.mmap(64 * 1024).unwrap();
+            env.touch_range(base, 64 * 1024, true).unwrap();
+        }
+    }
+
+    #[test]
+    fn syscall_latency_ordering_matches_table2() {
+        let lat = |b: Backend| {
+            let mut s = Stack::new(b, StackConfig::default());
+            let mut env = s.env();
+            env.sys(Sys::Getpid).unwrap(); // warm
+            let t0 = env.now_ns();
+            for _ in 0..100 {
+                env.sys(Sys::Getpid).unwrap();
+            }
+            (env.now_ns() - t0) / 100.0
+        };
+        let runc = lat(Backend::RunC);
+        let hvm = lat(Backend::HvmBm);
+        let cki = lat(Backend::Cki);
+        let pvm = lat(Backend::Pvm);
+        // Table 2 / Figure 10b: RunC ≈ HVM ≈ CKI ≈ 90 ns, PVM ≈ 336 ns.
+        assert!((runc - cki).abs() < 10.0, "runc {runc} vs cki {cki}");
+        assert!((runc - hvm).abs() < 10.0);
+        assert!(pvm > 3.0 * runc, "pvm {pvm} vs runc {runc}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Functional equivalence across backends: the same programs produce the
+//! same *results* everywhere — only the costs differ. This is the
+//! "container binary compatibility" column of the paper's Table 1.
+
+use cki::guest_os::{Errno, Fd, Sys};
+use cki::{Backend, Stack, StackConfig};
+
+const ALL: [Backend; 8] = [
+    Backend::RunC,
+    Backend::HvmBm,
+    Backend::HvmBm2M,
+    Backend::HvmNested,
+    Backend::Pvm,
+    Backend::PvmNested,
+    Backend::Cki,
+    Backend::CkiNested,
+];
+
+/// Runs a little "application" and returns a functional fingerprint.
+fn program_fingerprint(backend: Backend) -> Vec<u64> {
+    let mut stack = Stack::new(backend, StackConfig::default());
+    let mut env = stack.env();
+    let mut out = Vec::new();
+
+    // Files.
+    let buf = env.mmap(64 * 1024).unwrap();
+    let fd = env.sys(Sys::Open { path: "/data/x", create: true, trunc: false }).unwrap() as Fd;
+    out.push(env.sys(Sys::Write { fd, buf, len: 3000 }).unwrap());
+    out.push(env.sys(Sys::Pread { fd, buf, len: 9999, offset: 1000 }).unwrap());
+    out.push(env.sys(Sys::Stat { path: "/data/x" }).unwrap());
+    out.push(env.sys(Sys::Unlink { path: "/data/x" }).unwrap());
+    out.push(matches!(env.sys(Sys::Stat { path: "/data/x" }), Err(Errno::NoEnt)) as u64);
+
+    // Memory.
+    let region = env.mmap(32 * 4096).unwrap();
+    env.touch_range(region, 32 * 4096, true).unwrap();
+    out.push(env.kernel.stats.pgfaults);
+    env.sys(Sys::Mprotect { addr: region, len: 4096, write: false }).unwrap();
+    out.push(matches!(env.touch(region, true), Err(Errno::Fault)) as u64);
+    out.push(env.touch(region + 4096, true).is_ok() as u64);
+    out.push(env.sys(Sys::Munmap { addr: region, len: 32 * 4096 }).unwrap());
+
+    // Processes.
+    let child = env.sys(Sys::Fork).unwrap();
+    out.push(child);
+    let child = child as u32;
+    let kernel = &mut *env.kernel;
+    let machine = &mut *env.machine;
+    kernel.context_switch(machine, child).unwrap();
+    kernel.syscall(machine, Sys::Execve).unwrap();
+    kernel.syscall(machine, Sys::Exit { code: 3 }).unwrap();
+    kernel.context_switch(machine, 1).unwrap();
+    out.push(kernel.syscall(machine, Sys::Wait).unwrap());
+    out.push(kernel.nprocs() as u64);
+
+    // Pipes.
+    let fds = kernel.syscall(machine, Sys::PipeCreate).unwrap();
+    let (rfd, wfd) = ((fds >> 32) as Fd, (fds & 0xffff_ffff) as Fd);
+    kernel.syscall(machine, Sys::Write { fd: wfd, buf, len: 77 }).unwrap();
+    out.push(kernel.syscall(machine, Sys::Read { fd: rfd, buf, len: 500 }).unwrap());
+    out
+}
+
+#[test]
+fn same_program_same_results_everywhere() {
+    let reference = program_fingerprint(Backend::RunC);
+    for backend in ALL {
+        let fp = program_fingerprint(backend);
+        assert_eq!(fp, reference, "behaviour diverged on {}", backend.name());
+    }
+}
+
+#[test]
+fn costs_do_differ_while_results_do_not() {
+    let time = |b: Backend| {
+        let mut stack = Stack::new(b, StackConfig::default());
+        let mut env = stack.env();
+        let base = env.mmap(128 * 4096).unwrap();
+        env.touch_range(base, 128 * 4096, true).unwrap();
+        env.now_ns()
+    };
+    let runc = time(Backend::RunC);
+    let cki = time(Backend::Cki);
+    let pvm = time(Backend::Pvm);
+    let hvm_nst = time(Backend::HvmNested);
+    assert!(cki < pvm, "CKI {cki} < PVM {pvm}");
+    assert!(pvm < hvm_nst, "PVM {pvm} < HVM-NST {hvm_nst}");
+    assert!(cki < 1.5 * runc, "CKI near-native: {cki} vs {runc}");
+}
+
+#[test]
+fn deterministic_given_same_seedless_program() {
+    // Same backend, two boots, identical simulated timing: the simulation
+    // is fully deterministic (a property the harness relies on).
+    let a = {
+        let mut s = Stack::new(Backend::Cki, StackConfig::default());
+        let mut env = s.env();
+        let base = env.mmap(64 * 4096).unwrap();
+        env.touch_range(base, 64 * 4096, true).unwrap();
+        env.now_ns()
+    };
+    let b = {
+        let mut s = Stack::new(Backend::Cki, StackConfig::default());
+        let mut env = s.env();
+        let base = env.mmap(64 * 4096).unwrap();
+        env.touch_range(base, 64 * 4096, true).unwrap();
+        env.now_ns()
+    };
+    assert_eq!(a, b);
+}

@@ -1,0 +1,166 @@
+//! Fuzz-style robustness: random syscall sequences against every backend
+//! must never panic, never corrupt kernel invariants, and behave
+//! identically across backends.
+
+use cki::{Backend, Stack, StackConfig};
+use guest_os::{Errno, Fd, Sys};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One scripted operation (compact encodable form for proptest).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Getpid,
+    Open(u8),
+    WriteFd { fd: u8, len: u16 },
+    ReadFd { fd: u8, len: u16 },
+    CloseFd(u8),
+    Mmap { pages: u8 },
+    TouchRegion { region: u8, page: u8, write: bool },
+    MunmapRegion(u8),
+    Mprotect { region: u8, write: bool },
+    Fork,
+    SwitchNext,
+    ExitIfChild,
+    Stat(u8),
+    Pipe,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Getpid),
+        (0u8..4).prop_map(Op::Open),
+        (0u8..8, 1u16..5000).prop_map(|(fd, len)| Op::WriteFd { fd, len }),
+        (0u8..8, 1u16..5000).prop_map(|(fd, len)| Op::ReadFd { fd, len }),
+        (0u8..8).prop_map(Op::CloseFd),
+        (1u8..16).prop_map(|pages| Op::Mmap { pages }),
+        (0u8..4, 0u8..16, any::<bool>())
+            .prop_map(|(region, page, write)| Op::TouchRegion { region, page, write }),
+        (0u8..4).prop_map(Op::MunmapRegion),
+        (0u8..4, any::<bool>()).prop_map(|(region, write)| Op::Mprotect { region, write }),
+        Just(Op::Fork),
+        Just(Op::SwitchNext),
+        Just(Op::ExitIfChild),
+        (0u8..4).prop_map(Op::Stat),
+        Just(Op::Pipe),
+    ]
+}
+
+/// Runs a script and returns a functional fingerprint (results of each op).
+fn run_script(backend: Backend, ops: &[Op]) -> Vec<i64> {
+    let mut stack = Stack::new(backend, StackConfig::default());
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut regions: Vec<Option<(u64, u64)>> = vec![None; 4];
+    let mut pids = vec![1u32];
+    let mut fingerprint = Vec::new();
+    let buf = {
+        let mut env = stack.env();
+        let b = env.mmap(64 * 1024).unwrap();
+        env.touch_range(b, 64 * 1024, true).unwrap();
+        b
+    };
+    let enc = |r: Result<u64, Errno>| match r {
+        Ok(v) => v as i64,
+        Err(e) => -(e as i64 + 1),
+    };
+    for &op in ops {
+        let mut env = stack.env();
+        let v = match op {
+            Op::Getpid => enc(env.sys(Sys::Getpid)),
+            Op::Open(i) => {
+                let path = ["/a", "/b", "/c", "/d"][i as usize];
+                enc(env.sys(Sys::Open { path, create: true, trunc: false }))
+            }
+            Op::WriteFd { fd, len } => {
+                enc(env.sys(Sys::Write { fd: fd as Fd, buf, len: len as usize }))
+            }
+            Op::ReadFd { fd, len } => {
+                enc(env.sys(Sys::Read { fd: fd as Fd, buf, len: len as usize }))
+            }
+            Op::CloseFd(fd) => enc(env.sys(Sys::Close { fd: fd as Fd })),
+            Op::Mmap { pages } => {
+                let r = env.sys(Sys::Mmap { len: pages as u64 * 4096, write: true });
+                if let Ok(base) = r {
+                    let slot = rng.gen_range(0..4);
+                    regions[slot] = Some((base, pages as u64 * 4096));
+                }
+                enc(r)
+            }
+            Op::TouchRegion { region, page, write } => {
+                match regions[region as usize % 4] {
+                    Some((base, len)) => {
+                        let va = base + (page as u64 * 4096) % len;
+                        enc(env.touch(va, write).map(|_| 1))
+                    }
+                    None => -100,
+                }
+            }
+            Op::MunmapRegion(i) => match regions[i as usize % 4].take() {
+                Some((base, len)) => enc(env.sys(Sys::Munmap { addr: base, len })),
+                None => -100,
+            },
+            Op::Mprotect { region, write } => match regions[region as usize % 4] {
+                Some((base, len)) => enc(env.sys(Sys::Mprotect { addr: base, len, write })),
+                None => -100,
+            },
+            Op::Fork => {
+                let r = env.sys(Sys::Fork);
+                if let Ok(pid) = r {
+                    pids.push(pid as u32);
+                }
+                enc(r)
+            }
+            Op::SwitchNext => {
+                let cur = env.kernel.current;
+                let pos = pids.iter().position(|&p| p == cur).unwrap_or(0);
+                let next = pids[(pos + 1) % pids.len()];
+                let kernel = &mut *env.kernel;
+                let machine = &mut *env.machine;
+                enc(kernel.context_switch(machine, next).map(|_| next as u64))
+            }
+            Op::ExitIfChild => {
+                if env.kernel.current != 1 {
+                    let cur = env.kernel.current;
+                    pids.retain(|&p| p != cur);
+                    let kernel = &mut *env.kernel;
+                    let machine = &mut *env.machine;
+                    let r = kernel.syscall(machine, Sys::Exit { code: 0 });
+                    kernel.context_switch(machine, 1).unwrap();
+                    let _ = kernel.syscall(machine, Sys::Wait);
+                    enc(r)
+                } else {
+                    -101
+                }
+            }
+            Op::Stat(i) => {
+                let path = ["/a", "/b", "/c", "/d"][i as usize];
+                enc(env.sys(Sys::Stat { path }))
+            }
+            Op::Pipe => enc(env.sys(Sys::PipeCreate)),
+        };
+        fingerprint.push(v);
+    }
+    fingerprint
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No panic, and functional equivalence between RunC and CKI, under
+    /// arbitrary operation scripts.
+    #[test]
+    fn random_scripts_agree_runc_vs_cki(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let a = run_script(Backend::RunC, &ops);
+        let b = run_script(Backend::Cki, &ops);
+        prop_assert_eq!(a, b);
+    }
+
+    /// PVM and nested HVM also agree (slow, fewer cases).
+    #[test]
+    fn random_scripts_agree_pvm_vs_hvm_nested(ops in prop::collection::vec(op_strategy(), 1..24)) {
+        let a = run_script(Backend::Pvm, &ops);
+        let b = run_script(Backend::HvmNested, &ops);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end security tests: the attacks of §4 and §6, mounted against a
+//! live container stack and verified to be contained.
+
+use cki::cki_core::{self, gates, CkiPlatform, KsmError};
+use cki::guest_os::Sys;
+use cki::sim_hw::instr::InvpcidMode;
+use cki::sim_hw::{Access, Fault, Instr, IretFrame, Mode};
+use cki::sim_mem::pte;
+use cki::{Backend, Stack, StackConfig};
+
+/// Boots CKI with one mapped page so a declared PTP exists.
+fn attack_stack() -> Stack {
+    let mut stack = Stack::new(Backend::Cki, StackConfig::default());
+    let mut env = stack.env();
+    let base = env.mmap(4096).expect("mmap");
+    env.touch(base, true).expect("touch");
+    stack
+}
+
+fn as_guest_kernel(stack: &mut Stack) {
+    stack.machine.cpu.mode = Mode::Kernel;
+    stack.machine.cpu.pkrs = cki_core::pkrs_guest();
+}
+
+#[test]
+fn destructive_instructions_trap_to_host() {
+    let mut stack = attack_stack();
+    as_guest_kernel(&mut stack);
+    let m = &mut stack.machine;
+    for instr in [
+        Instr::Wrmsr { msr: 0xc000_0080, value: 0 }, // EFER
+        Instr::Lgdt { base: 0xbad },
+        Instr::Ltr { selector: 0x28 },
+        Instr::WriteCr0 { value: 0 }, // turn off paging!
+        Instr::WriteCr4 { value: 0 }, // turn off PKS!
+        Instr::WriteCr3 { value: 0xbad000, preserve_tlb: false },
+        Instr::Invpcid { mode: InvpcidMode::SingleContext { pcid: 0 } },
+        Instr::Sti,
+        Instr::Popf { if_flag: false },
+        Instr::InPort { port: 0xcf8 },
+        Instr::Smsw,
+        Instr::ReadCr { cr: 3 }, // would leak hPAs
+    ] {
+        let r = m.cpu.exec(&mut m.mem, instr);
+        assert!(
+            matches!(r, Err(Fault::BlockedPrivileged { .. })),
+            "{} escaped: {r:?}",
+            instr.mnemonic()
+        );
+    }
+}
+
+#[test]
+fn harmless_instructions_still_work() {
+    let mut stack = attack_stack();
+    as_guest_kernel(&mut stack);
+    let m = &mut stack.machine;
+    // Table 3's "No" rows keep the guest kernel fast.
+    m.cpu.exec(&mut m.mem, Instr::ReadCr { cr: 0 }).expect("read cr0");
+    m.cpu.exec(&mut m.mem, Instr::ReadCr { cr: 4 }).expect("read cr4");
+    m.cpu.exec(&mut m.mem, Instr::Swapgs).expect("swapgs");
+    m.cpu.exec(&mut m.mem, Instr::Clac).expect("clac");
+    m.cpu.exec(&mut m.mem, Instr::Invlpg { va: 0x1000 }).expect("invlpg");
+}
+
+#[test]
+fn guest_cannot_write_ptp_but_can_read_it() {
+    let mut stack = attack_stack();
+    let root = stack.kernel.proc(1).aspace.root;
+    let ptp_va = {
+        let p = stack.kernel.platform.as_any().downcast_ref::<CkiPlatform>().unwrap();
+        p.ksm.physmap_va(root)
+    };
+    as_guest_kernel(&mut stack);
+    let m = &mut stack.machine;
+    // Reads are allowed: CKI uses PKS write-disable, not the W bit, so the
+    // guest can walk its own tables (§4.3).
+    m.cpu.mem_access(&mut m.mem, ptp_va, Access::Read, None).expect("read own PTP");
+    let err = m.cpu.mem_access(&mut m.mem, ptp_va, Access::Write, None).unwrap_err();
+    assert!(matches!(err, Fault::PkViolation { key: cki_core::KEY_PTP, write: true, .. }));
+}
+
+#[test]
+fn ksm_rejects_mappings_outside_the_segment() {
+    let mut stack = attack_stack();
+    as_guest_kernel(&mut stack);
+    let root = stack.kernel.proc(1).aspace.root;
+    let Stack { machine: m, kernel, .. } = &mut stack;
+    let p = kernel.platform.as_any_mut().downcast_mut::<CkiPlatform>().unwrap();
+    // Try to map host memory (the KSM's own IDT page, say).
+    let idt = p.ksm.idt_pa;
+    let evil = pte::make(idt & pte::ADDR_MASK, pte::P | pte::W | pte::U | pte::NX);
+    let r = gates::ksm_call(m, &mut p.ksm, |m, k| k.update_pte(m, root, 1, evil))
+        .expect("gate traversal");
+    assert_eq!(r.unwrap_err(), KsmError::BadPte("target outside delegated segment"));
+}
+
+#[test]
+fn ksm_rejects_kernel_executable_mappings() {
+    // No new wrpkrs instructions can be smuggled into kernel-executable
+    // memory (§4.1).
+    let mut stack = attack_stack();
+    as_guest_kernel(&mut stack);
+    let root = stack.kernel.proc(1).aspace.root;
+    let Stack { machine: m, kernel, .. } = &mut stack;
+    let p = kernel.platform.as_any_mut().downcast_mut::<CkiPlatform>().unwrap();
+    let inside = p.ksm.seg.start + 0x5000;
+    let evil = pte::make(inside, pte::P | pte::W); // U=0, NX=0
+    let r = gates::ksm_call(m, &mut p.ksm, |m, k| k.update_pte(m, root, 1, evil))
+        .expect("gate traversal");
+    assert_eq!(r.unwrap_err(), KsmError::BadPte("non-leaf target is not a declared PTP"));
+}
+
+#[test]
+fn cr3_must_name_a_declared_root() {
+    let mut stack = attack_stack();
+    as_guest_kernel(&mut stack);
+    let Stack { machine: m, kernel, .. } = &mut stack;
+    let p = kernel.platform.as_any_mut().downcast_mut::<CkiPlatform>().unwrap();
+    let rogue = p.ksm.seg.start + 0x7000; // arbitrary data page
+    let r = gates::ksm_call(m, &mut p.ksm, |m, k| k.load_cr3(m, rogue, 0))
+        .expect("gate traversal");
+    assert_eq!(r.unwrap_err(), KsmError::BadRoot);
+}
+
+#[test]
+fn interrupt_forgery_and_monopolizing_blocked() {
+    let mut stack = attack_stack();
+    let (idt_pa, tss_pa) = {
+        let p = stack.kernel.platform.as_any().downcast_ref::<CkiPlatform>().unwrap();
+        (p.ksm.idt_pa, p.ksm.tss_pa)
+    };
+    as_guest_kernel(&mut stack);
+    let m = &mut stack.machine;
+    m.cpu.idtr = idt_pa;
+    m.cpu.tss_base = tss_pa;
+
+    // Forgery: jumping into the gate without hardware delivery dies on the
+    // first per-vCPU-area store (PKRS was never cleared).
+    let fake = IretFrame::default();
+    let mut host_ran = false;
+    let r = gates::interrupt_gate(m, fake, cki_core::ksm::VEC_VIRTIO, |_m| host_ran = true);
+    assert!(matches!(r, Err(gates::GateAbort::Fault(Fault::PkViolation { .. }))));
+    assert!(!host_ran);
+
+    // Monopolizing: the guest cannot reload IDTR (blocked instruction) ...
+    let r = m.cpu.exec(&mut m.mem, Instr::Lidt { base: 0xbad000 });
+    assert!(matches!(r, Err(Fault::BlockedPrivileged { .. })));
+    // ... and a genuine hardware interrupt still reaches the host gate.
+    let d = m.cpu.deliver_interrupt(&mut m.mem, cki_core::ksm::VEC_VIRTIO, true).unwrap();
+    assert_eq!(d.handler, cki_core::ksm::INTR_GATE_TOKEN);
+}
+
+#[test]
+fn container_survives_attack_storm() {
+    // After every attack in the module, the container still schedules and
+    // serves syscalls — the DoS-prevention claim of §2.1.
+    let mut stack = attack_stack();
+    as_guest_kernel(&mut stack);
+    for _ in 0..100 {
+        let m = &mut stack.machine;
+        let _ = m.cpu.exec(&mut m.mem, Instr::Wrmsr { msr: 1, value: 2 });
+        let _ = m.cpu.exec(&mut m.mem, Instr::Cli);
+        let _ = m.cpu.exec(&mut m.mem, Instr::Sysret { restore_if: false });
+        assert!(m.cpu.rflags_if, "interrupts stayed enabled");
+        m.cpu.mode = Mode::Kernel;
+    }
+    stack.machine.cpu.mode = Mode::User;
+    let mut env = stack.env();
+    assert_eq!(env.sys(Sys::Getpid).unwrap(), 1);
+}
+
+#[test]
+fn tracer_audits_the_attack() {
+    use cki::sim_hw::TraceEvent;
+    let mut stack = attack_stack();
+    as_guest_kernel(&mut stack);
+    stack.machine.cpu.tracer.enable();
+    let m = &mut stack.machine;
+    let _ = m.cpu.exec(&mut m.mem, Instr::Wrmsr { msr: 1, value: 2 });
+    let _ = m.cpu.exec(&mut m.mem, Instr::Cli);
+    let blocked = m
+        .cpu
+        .tracer
+        .count_of(TraceEvent::InstrBlocked { mnemonic: "", pkrs: 0 });
+    assert_eq!(blocked, 2, "both attempts audited");
+    let tail = m.cpu.tracer.render_tail(10, 2.4);
+    assert!(tail.contains("wrmsr") && tail.contains("cli"), "{tail}");
+}
+
+#[test]
+fn baseline_hardware_cannot_enforce_any_of_this() {
+    // Negative control: on commodity PKS hardware (no CKI extensions) a
+    // "deprivileged" kernel simply executes the destructive instructions —
+    // which is why the paper needs the co-design.
+    let mut m = cki::sim_hw::Machine::new(64 << 20, cki::sim_hw::HwExtensions::baseline());
+    m.cpu.mode = Mode::Kernel;
+    m.cpu
+        .exec(&mut m.mem, Instr::Wrmsr { msr: cki::sim_hw::cpu::MSR_IA32_PKRS, value: 4 })
+        .expect("set PKRS via wrmsr");
+    assert_eq!(m.cpu.pkrs, 4);
+    m.cpu.exec(&mut m.mem, Instr::Cli).expect("cli executes");
+    assert!(!m.cpu.rflags_if, "interrupts disabled: DoS on baseline hardware");
+    m.cpu
+        .exec(&mut m.mem, Instr::WriteCr3 { value: 0xbad000, preserve_tlb: false })
+        .expect("arbitrary CR3 load on baseline hardware");
+}
