@@ -4,7 +4,8 @@
 //! useful for keeping the simulator fast — and print the *simulated* cost
 //! alongside, which is the paper-relevant number.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cki_bench::harness::Criterion;
+use cki_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use cki_core::{gates, pkrs_guest, CkiConfig, CkiPlatform, KsmError};
@@ -24,14 +25,24 @@ fn bench_ksm_call_gate(c: &mut Criterion) {
     m.cpu.pkrs = pkrs_guest();
     let t0 = m.cpu.clock.ns();
     {
-        let p = k.platform.as_any_mut().downcast_mut::<CkiPlatform>().unwrap();
-        gates::ksm_call(&mut m, &mut p.ksm, |_m, _k| Ok::<u64, KsmError>(0)).unwrap().unwrap();
+        let p = k
+            .platform
+            .as_any_mut()
+            .downcast_mut::<CkiPlatform>()
+            .unwrap();
+        gates::ksm_call(&mut m, &mut p.ksm, |_m, _k| Ok::<u64, KsmError>(0))
+            .unwrap()
+            .unwrap();
     }
     println!("simulated empty KSM call: {:.0} ns", m.cpu.clock.ns() - t0);
 
     c.bench_function("gate/ksm_call_empty", |b| {
         b.iter(|| {
-            let p = k.platform.as_any_mut().downcast_mut::<CkiPlatform>().unwrap();
+            let p = k
+                .platform
+                .as_any_mut()
+                .downcast_mut::<CkiPlatform>()
+                .unwrap();
             let r = gates::ksm_call(&mut m, &mut p.ksm, |_m, _k| Ok::<u64, KsmError>(7));
             black_box(r).unwrap().unwrap()
         })
@@ -44,7 +55,10 @@ fn bench_hypercall_gate(c: &mut Criterion) {
     m.cpu.pkrs = pkrs_guest();
     let t0 = m.cpu.clock.ns();
     k.platform.hypercall(&mut m, Hypercall::Nop);
-    println!("simulated empty hypercall: {:.0} ns (paper: 390 ns)", m.cpu.clock.ns() - t0);
+    println!(
+        "simulated empty hypercall: {:.0} ns (paper: 390 ns)",
+        m.cpu.clock.ns() - t0
+    );
 
     c.bench_function("gate/hypercall_empty", |b| {
         b.iter(|| black_box(k.platform.hypercall(&mut m, Hypercall::Nop)))
@@ -58,5 +72,10 @@ fn bench_syscall_fast_path(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ksm_call_gate, bench_hypercall_gate, bench_syscall_fast_path);
+criterion_group!(
+    benches,
+    bench_ksm_call_gate,
+    bench_hypercall_gate,
+    bench_syscall_fast_path
+);
 criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Criterion benchmarks of KSM operations (paper §4.3): PTP declaration,
 //! PTE-update validation, CR3 validation, and A/D propagation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cki_bench::harness::Criterion;
+use cki_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use cki_core::Ksm;
@@ -11,7 +12,10 @@ use sim_mem::{pte, Segment, PAGE_SIZE};
 fn setup() -> (Machine, Ksm, Segment) {
     let mut m = Machine::new(1 << 30, HwExtensions::cki());
     let base = m.frames.alloc_contiguous(16 * 1024).unwrap();
-    let seg = Segment { start: base, end: base + 16 * 1024 * PAGE_SIZE };
+    let seg = Segment {
+        start: base,
+        end: base + 16 * 1024 * PAGE_SIZE,
+    };
     let ksm = Ksm::new(&mut m, seg, 2, 3);
     (m, ksm, seg)
 }
@@ -62,7 +66,8 @@ fn bench_cr3_load(c: &mut Criterion) {
     c.bench_function("ksm/load_cr3_pervcpu", |b| {
         b.iter(|| {
             v = (v + 1) % 2;
-            black_box(ksm.load_cr3(&mut m, root, v).unwrap())
+            let _: () = ksm.load_cr3(&mut m, root, v).unwrap();
+            black_box(())
         })
     });
 }
@@ -73,7 +78,8 @@ fn bench_ad_propagation(c: &mut Criterion) {
     ksm.declare_ptp(&mut m, root, 4).unwrap();
     let l3 = seg.start + 81 * PAGE_SIZE;
     ksm.declare_ptp(&mut m, l3, 3).unwrap();
-    ksm.update_pte(&mut m, root, 7, pte::make(l3, pte::P | pte::W | pte::U)).unwrap();
+    ksm.update_pte(&mut m, root, 7, pte::make(l3, pte::P | pte::W | pte::U))
+        .unwrap();
     c.bench_function("ksm/read_root_pte_ad_merge", |b| {
         b.iter(|| black_box(ksm.read_root_pte(&mut m, root, 7).unwrap()))
     });

@@ -1,7 +1,8 @@
 //! Criterion benchmarks of the MMU model: TLB hits, 1-D walks, 2-D (EPT)
 //! walks, and PCID-tagged flushes — the substrate behind Table 4.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cki_bench::harness::Criterion;
+use cki_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use sim_hw::cost::CostModel;
@@ -38,9 +39,15 @@ fn mapped_cpu(pages: u64) -> (Cpu, sim_mem::PhysMem) {
 
 fn bench_tlb_hit(c: &mut Criterion) {
     let (mut cpu, mut mem) = mapped_cpu(8);
-    cpu.mem_access(&mut mem, 0x100_0000, Access::Read, None).unwrap();
+    cpu.mem_access(&mut mem, 0x100_0000, Access::Read, None)
+        .unwrap();
     c.bench_function("mmu/tlb_hit", |b| {
-        b.iter(|| black_box(cpu.mem_access(&mut mem, 0x100_0000, Access::Read, None).unwrap()))
+        b.iter(|| {
+            black_box(
+                cpu.mem_access(&mut mem, 0x100_0000, Access::Read, None)
+                    .unwrap(),
+            )
+        })
     });
 }
 
@@ -62,7 +69,10 @@ fn bench_walk_2d(c: &mut Criterion) {
     // Guest tables with gPA pointers + a populated EPT.
     let mut machine = Machine::new(1 << 30, HwExtensions::baseline());
     let vm_bytes = 64 * 1024 * 1024;
-    let base = machine.frames.alloc_contiguous(vm_bytes / PAGE_SIZE).unwrap();
+    let base = machine
+        .frames
+        .alloc_contiguous(vm_bytes / PAGE_SIZE)
+        .unwrap();
     let mut ept = Ept::new(&mut machine, base, vm_bytes);
     // Guest root at gPA 0; map pages 16.. to gPAs, tables from gPA 1..
     let mut next_gpa = PAGE_SIZE;
@@ -89,9 +99,10 @@ fn bench_walk_2d(c: &mut Criterion) {
         }
         let leaf_gpa = 0x80_0000 + i * PAGE_SIZE;
         let slot = base + table_gpa + 8 * sim_mem::addr::pt_index(va, 1) as u64;
-        machine
-            .mem
-            .write_u64(slot, sim_mem::pte::make(leaf_gpa, sim_mem::pte::P | sim_mem::pte::W));
+        machine.mem.write_u64(
+            slot,
+            sim_mem::pte::make(leaf_gpa, sim_mem::pte::P | sim_mem::pte::W),
+        );
         ept.map_gpa(&mut machine, leaf_gpa);
     }
     // Pre-map the table gPAs in the EPT.
@@ -108,7 +119,10 @@ fn bench_walk_2d(c: &mut Criterion) {
             i += 1;
             machine.cpu.tlb.flush_va(va, machine.cpu.pcid());
             let Machine { cpu, mem, .. } = &mut machine;
-            black_box(cpu.mem_access(mem, va, Access::Read, Some(&mut ept)).unwrap())
+            black_box(
+                cpu.mem_access(mem, va, Access::Read, Some(&mut ept))
+                    .unwrap(),
+            )
         })
     });
     // Report the simulated 2-D premium.
@@ -118,7 +132,8 @@ fn bench_walk_2d(c: &mut Criterion) {
 fn bench_invlpg(c: &mut Criterion) {
     let (mut cpu, mut mem) = mapped_cpu(64);
     for i in 0..64u64 {
-        cpu.mem_access(&mut mem, 0x100_0000 + i * PAGE_SIZE, Access::Read, None).unwrap();
+        cpu.mem_access(&mut mem, 0x100_0000 + i * PAGE_SIZE, Access::Read, None)
+            .unwrap();
     }
     let mut i = 0u64;
     c.bench_function("mmu/invlpg", |b| {
@@ -130,5 +145,11 @@ fn bench_invlpg(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tlb_hit, bench_walk_1d, bench_walk_2d, bench_invlpg);
+criterion_group!(
+    benches,
+    bench_tlb_hit,
+    bench_walk_1d,
+    bench_walk_2d,
+    bench_invlpg
+);
 criterion_main!(benches);

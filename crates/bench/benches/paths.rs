@@ -1,7 +1,8 @@
 //! Criterion benchmarks of the end-to-end container paths per backend:
 //! syscall, page fault, and hypercall (Table 2's rows as host-side work).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cki_bench::harness::{BenchmarkId, Criterion};
+use cki_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use cki::{Backend, Stack, StackConfig};
@@ -42,7 +43,7 @@ fn bench_pgfault(c: &mut Criterion) {
                     env.touch_range(base, 64 * 4096, true).unwrap();
                     black_box(env.now_ns())
                 },
-                criterion::BatchSize::SmallInput,
+                cki_bench::harness::BatchSize::SmallInput,
             )
         });
     }
@@ -51,12 +52,22 @@ fn bench_pgfault(c: &mut Criterion) {
 
 fn bench_hypercall(c: &mut Criterion) {
     let mut group = c.benchmark_group("path/hypercall");
-    for backend in [Backend::HvmBm, Backend::HvmNested, Backend::Pvm, Backend::Cki] {
+    for backend in [
+        Backend::HvmBm,
+        Backend::HvmNested,
+        Backend::Pvm,
+        Backend::Cki,
+    ] {
         let mut stack = Stack::new(backend, StackConfig::default());
         stack.machine.cpu.mode = sim_hw::Mode::Kernel;
         group.bench_function(BenchmarkId::from_parameter(backend.name()), |b| {
             b.iter(|| {
-                black_box(stack.kernel.platform.hypercall(&mut stack.machine, Hypercall::Nop))
+                black_box(
+                    stack
+                        .kernel
+                        .platform
+                        .hypercall(&mut stack.machine, Hypercall::Nop),
+                )
             })
         });
     }

@@ -30,7 +30,10 @@ fn gate_sidechannel(scale: Scale) -> Matrix {
     );
     let clean = pgfault_ns(Backend::Cki, pages);
     let mitigated = pgfault_ns(Backend::CkiGateMitigated, pages);
-    m.push_row("pgfault", vec![clean, mitigated, (mitigated / clean - 1.0) * 100.0]);
+    m.push_row(
+        "pgfault",
+        vec![clean, mitigated, (mitigated / clean - 1.0) * 100.0],
+    );
     m
 }
 
@@ -157,13 +160,22 @@ fn pervcpu_cost(scale: Scale) -> Matrix {
     );
     for vcpus in [1u32, 2, 8] {
         let mut machine = Machine::new(2 << 30, HwExtensions::cki());
-        let p = CkiPlatform::new(&mut machine, CkiConfig { vcpus, ..CkiConfig::default() });
+        let p = CkiPlatform::new(
+            &mut machine,
+            CkiConfig {
+                vcpus,
+                ..CkiConfig::default()
+            },
+        );
         let mut k = Kernel::boot(Box::new(p), &mut machine);
         let mut env = guest_os::Env::new(&mut k, &mut machine);
         let base = env.mmap(pages * 4096).unwrap();
         let t0 = env.now_ns();
         env.touch_range(base, pages * 4096, true).unwrap();
-        m.push_row(&format!("{vcpus} vCPU"), vec![(env.now_ns() - t0) / pages as f64]);
+        m.push_row(
+            &format!("{vcpus} vCPU"),
+            vec![(env.now_ns() - t0) / pages as f64],
+        );
     }
     m
 }
@@ -171,7 +183,12 @@ fn pervcpu_cost(scale: Scale) -> Matrix {
 fn main() {
     let scale = Scale::from_env();
     let out = std::path::Path::new("results");
-    for matrix in [gate_sidechannel(scale), pervcpu_cost(scale), fragmentation(), future_work()] {
+    for matrix in [
+        gate_sidechannel(scale),
+        pervcpu_cost(scale),
+        fragmentation(),
+        future_work(),
+    ] {
         print!("{}", matrix.render());
         let name = matrix
             .title

@@ -25,11 +25,17 @@ fn main() {
     );
     perf.push_row(
         "syscall",
-        backends.iter().map(|&b| experiments::syscall_ns(b)).collect(),
+        backends
+            .iter()
+            .map(|&b| experiments::syscall_ns(b))
+            .collect(),
     );
     perf.push_row(
         "pgfault",
-        backends.iter().map(|&b| experiments::pgfault_ns(b, pages)).collect(),
+        backends
+            .iter()
+            .map(|&b| experiments::pgfault_ns(b, pages))
+            .collect(),
     );
     print!("{}", perf.render());
     perf.save_tsv(std::path::Path::new("results/design_space.tsv"));

@@ -5,5 +5,7 @@ fn main() {
     let m = experiments::fig12(Scale::from_env());
     print!("{}", m.normalized_to("RunC").render());
     m.save_tsv(std::path::Path::new("results/fig12.tsv"));
-    println!("paper: CKI cuts latency 24-72% vs HVM-NST, 1-18% vs HVM-BM, 2-47% vs PVM; <3% over RunC");
+    println!(
+        "paper: CKI cuts latency 24-72% vs HVM-NST, 1-18% vs HVM-BM, 2-47% vs PVM; <3% over RunC"
+    );
 }

@@ -7,5 +7,7 @@ fn main() {
     print!("{}", rate.render());
     tput.save_tsv(std::path::Path::new("results/fig14_tput.tsv"));
     rate.save_tsv(std::path::Path::new("results/fig14_rate.tsv"));
-    println!("paper: PVM 19-24% below RunC on writes; CKI/HVM/RunC converge; reads converge for all");
+    println!(
+        "paper: PVM 19-24% below RunC on writes; CKI/HVM/RunC converge; reads converge for all"
+    );
 }

@@ -1,74 +1,111 @@
 //! Runs every table/figure regenerator and writes results/ + a summary.
-use cki_bench::{experiments, Scale};
+//!
+//! Alongside the per-experiment TSVs, a machine-readable
+//! `results/run_all.json` carries each matrix plus the per-backend metrics
+//! snapshots captured while the experiment ran (see
+//! `cki_bench::util::sink`), for the bench-trajectory tooling.
+
+use cki_bench::util::sink;
+use cki_bench::{experiments, Matrix, Scale};
+use obs::export::metrics_json;
+
+/// Accumulates the `results/run_all.json` document.
+struct Summary {
+    entries: Vec<String>,
+}
+
+impl Summary {
+    fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Runs one experiment inside a sink window; renders (optionally
+    /// normalized for display), saves the TSV, and records the JSON entry.
+    fn run(&mut self, name: &str, display_col: Option<&str>, f: impl FnOnce() -> Matrix) {
+        sink::begin();
+        let m = f();
+        let metrics = sink::end();
+        match display_col {
+            Some(col) => print!("{}", m.normalized_to(col).render()),
+            None => print!("{}", m.render()),
+        }
+        m.save_tsv(&std::path::Path::new("results").join(format!("{name}.tsv")));
+        self.push(name, &[&m], &metrics);
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        matrices: &[&Matrix],
+        metrics: &[(String, obs::MetricsSnapshot)],
+    ) {
+        let mats = matrices
+            .iter()
+            .map(|m| m.to_json())
+            .collect::<Vec<_>>()
+            .join(",");
+        let snaps = metrics
+            .iter()
+            .map(|(tag, s)| format!("\"{}\":{}", obs::export::json_escape(tag), metrics_json(s)))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.entries.push(format!(
+            "\"{name}\":{{\"matrices\":[{mats}],\"metrics\":{{{snaps}}}}}"
+        ));
+    }
+
+    fn save(&self, scale: Scale, wall_secs: f64) {
+        let json = format!(
+            "{{\"scale\":\"{}\",\"wall_seconds\":{wall_secs:.1},\"experiments\":{{{}}}}}\n",
+            if scale == Scale::Quick {
+                "quick"
+            } else {
+                "full"
+            },
+            self.entries.join(",")
+        );
+        debug_assert!(obs::export::json_balanced(&json));
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write("results/run_all.json", json).expect("write run_all.json");
+    }
+}
 
 fn main() {
     let scale = Scale::from_env();
     let out = std::path::Path::new("results");
     let t = std::time::Instant::now();
+    let mut summary = Summary::new();
 
-    let m = experiments::fig02();
-    print!("{}", m.render());
-    m.save_tsv(&out.join("fig02.tsv"));
+    summary.run("fig02", None, experiments::fig02);
+    summary.run("table2", None, || experiments::table2(scale));
+    summary.run("table3", None, experiments::table3);
+    summary.run("fig04", Some("RunC-BM"), || experiments::fig04(scale));
+    summary.run("fig05", Some("RunC-BM"), || experiments::fig05(scale));
+    summary.run("fig10a", None, || experiments::fig10a(scale));
+    summary.run("fig10b", None, experiments::fig10b);
+    summary.run("fig11", Some("RunC"), || experiments::fig11(scale));
+    summary.run("fig12", Some("RunC"), || experiments::fig12(scale));
+    summary.run("fig13a", None, || experiments::fig13a(scale));
+    summary.run("fig13b", None, || experiments::fig13b(scale));
+    summary.run("table4", Some("RunC-BM"), || experiments::table4(scale));
 
-    let m = experiments::table2(scale);
-    print!("{}", m.render());
-    m.save_tsv(&out.join("table2.tsv"));
-
-    let m = experiments::table3();
-    print!("{}", m.render());
-    m.save_tsv(&out.join("table3.tsv"));
-
-    let m = experiments::fig04(scale);
-    print!("{}", m.normalized_to("RunC-BM").render());
-    m.save_tsv(&out.join("fig04.tsv"));
-
-    let m = experiments::fig05(scale);
-    print!("{}", m.normalized_to("RunC-BM").render());
-    m.save_tsv(&out.join("fig05.tsv"));
-
-    let m = experiments::fig10a(scale);
-    print!("{}", m.render());
-    m.save_tsv(&out.join("fig10a.tsv"));
-    let m = experiments::fig10b();
-    print!("{}", m.render());
-    m.save_tsv(&out.join("fig10b.tsv"));
-
-    let m = experiments::fig11(scale);
-    print!("{}", m.normalized_to("RunC").render());
-    m.save_tsv(&out.join("fig11.tsv"));
-
-    let m = experiments::fig12(scale);
-    print!("{}", m.normalized_to("RunC").render());
-    m.save_tsv(&out.join("fig12.tsv"));
-
-    let m = experiments::fig13a(scale);
-    print!("{}", m.render());
-    m.save_tsv(&out.join("fig13a.tsv"));
-    let m = experiments::fig13b(scale);
-    print!("{}", m.render());
-    m.save_tsv(&out.join("fig13b.tsv"));
-
-    let m = experiments::table4(scale);
-    print!("{}", m.normalized_to("RunC-BM").render());
-    m.save_tsv(&out.join("table4.tsv"));
-
+    // fig14 returns two matrices; bracket it by hand.
+    sink::begin();
     let (tput, rate) = experiments::fig14(scale);
+    let metrics = sink::end();
     print!("{}", tput.normalized_to("RunC").render());
     print!("{}", rate.render());
     tput.save_tsv(&out.join("fig14_tput.tsv"));
     rate.save_tsv(&out.join("fig14_rate.tsv"));
+    summary.push("fig14", &[&tput, &rate], &metrics);
 
-    let m = experiments::fig15(scale);
-    print!("{}", m.render());
-    m.save_tsv(&out.join("fig15.tsv"));
+    summary.run("fig15", None, || experiments::fig15(scale));
+    summary.run("fig16", None, || experiments::fig16(scale));
+    summary.run("table5", None, experiments::table5);
 
-    let m = experiments::fig16(scale);
-    print!("{}", m.render());
-    m.save_tsv(&out.join("fig16.tsv"));
-
-    let m = experiments::table5();
-    print!("{}", m.render());
-    m.save_tsv(&out.join("table5.tsv"));
-
-    println!("\nall experiments done in {:.1}s (wall clock); TSVs in results/", t.elapsed().as_secs_f64());
+    let wall = t.elapsed().as_secs_f64();
+    summary.save(scale, wall);
+    println!("\nall experiments done in {wall:.1}s (wall clock); TSVs + run_all.json in results/");
 }

@@ -20,12 +20,18 @@ fn main() {
         "ops/s (normalize to RunC)",
         &backends.map(|(n, _)| n),
     );
-    for case in [SqliteCase::FillSeq, SqliteCase::FillSeqBatch, SqliteCase::ReadRandom] {
+    for case in [
+        SqliteCase::FillSeq,
+        SqliteCase::FillSeqBatch,
+        SqliteCase::ReadRandom,
+    ] {
         let mut row = Vec::new();
         for &(_, b) in &backends {
             let mut stack = Stack::new(b, StackConfig::default());
             let mut env = stack.env();
-            let r = SqliteBlkWorkload::new(scale.n(1500)).run(&mut env, case).expect("run");
+            let r = SqliteBlkWorkload::new(scale.n(1500))
+                .run(&mut env, case)
+                .expect("run");
             row.push(r.ops_per_sec());
         }
         m.push_row(case.name(), row);

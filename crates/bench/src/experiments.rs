@@ -61,7 +61,19 @@ impl MemApp {
 }
 
 fn boot(backend: Backend, clients: u32) -> Stack {
-    Stack::new(backend, StackConfig { clients, ..StackConfig::default() })
+    Stack::new(
+        backend,
+        StackConfig {
+            clients,
+            ..StackConfig::default()
+        },
+    )
+}
+
+/// Publishes a finished stack's unified metrics snapshot to the `run_all`
+/// sink (no-op outside a capture window — see [`crate::util::sink`]).
+fn record_stack(stack: &Stack) {
+    crate::util::sink::record(stack.backend.name(), stack.metrics_snapshot());
 }
 
 /// End-to-end latency (ns) of one memory-intensive app on one backend.
@@ -90,6 +102,7 @@ pub fn mem_app_latency(backend: Backend, app: MemApp, scale: Scale) -> f64 {
         }
     }
     .expect("mem app run");
+    record_stack(&stack);
     report.ns
 }
 
@@ -103,7 +116,9 @@ pub fn syscall_ns(backend: Backend) -> f64 {
     for _ in 0..iters {
         env.sys(Sys::Getpid).expect("getpid");
     }
-    (env.now_ns() - t0) / iters as f64
+    let ns = (env.now_ns() - t0) / iters as f64;
+    record_stack(&stack);
+    ns
 }
 
 /// Anonymous-page fault latency (ns) on one backend.
@@ -113,7 +128,9 @@ pub fn pgfault_ns(backend: Backend, pages: u64) -> f64 {
     let base = env.mmap(pages * 4096).expect("mmap");
     let t0 = env.now_ns();
     env.touch_range(base, pages * 4096, true).expect("touch");
-    (env.now_ns() - t0) / pages as f64
+    let ns = (env.now_ns() - t0) / pages as f64;
+    record_stack(&stack);
+    ns
 }
 
 /// Empty-hypercall latency (ns) on one backend.
@@ -128,7 +145,9 @@ pub fn hypercall_ns(backend: Backend) -> f64 {
             .platform
             .hypercall(&mut stack.machine, guest_os::Hypercall::Nop);
     }
-    (stack.ns() - t0) / iters as f64
+    let ns = (stack.ns() - t0) / iters as f64;
+    record_stack(&stack);
+    ns
 }
 
 /// Table 2: container performance on microbenchmarks (ns).
@@ -148,12 +167,21 @@ pub fn table2(scale: Scale) -> Matrix {
         Backend::Cki,
     ];
     m.push_row("syscall", backends.iter().map(|&b| syscall_ns(b)).collect());
-    m.push_row("pgfault", backends.iter().map(|&b| pgfault_ns(b, pages)).collect());
+    m.push_row(
+        "pgfault",
+        backends.iter().map(|&b| pgfault_ns(b, pages)).collect(),
+    );
     m.push_row(
         "hypercall",
         backends
             .iter()
-            .map(|&b| if b == Backend::RunC { 0.0 } else { hypercall_ns(b) })
+            .map(|&b| {
+                if b == Backend::RunC {
+                    0.0
+                } else {
+                    hypercall_ns(b)
+                }
+            })
             .collect(),
     );
     m
@@ -194,7 +222,10 @@ pub fn fig04(scale: Scale) -> Matrix {
     for app in MemApp::ALL {
         m.push_row(
             app.name(),
-            backends.iter().map(|&(_, b)| mem_app_latency(b, app, scale)).collect(),
+            backends
+                .iter()
+                .map(|&(_, b)| mem_app_latency(b, app, scale))
+                .collect(),
         );
     }
     m
@@ -207,7 +238,12 @@ pub fn io_tput(backend: Backend, case: IoCase, scale: Scale) -> f64 {
     let mut stack = boot(backend, clients);
     let mut env = stack.env();
     let reqs = scale.n(3000);
-    IoWorkload::new(case, reqs).run(&mut env).expect("io run").ops_per_sec()
+    let ops = IoWorkload::new(case, reqs)
+        .run(&mut env)
+        .expect("io run")
+        .ops_per_sec();
+    record_stack(&stack);
+    ops
 }
 
 /// Figure 5: motivation — I/O-intensive throughput, normalized to RunC-BM.
@@ -227,14 +263,20 @@ pub fn fig05(scale: Scale) -> Matrix {
     for case in IoCase::ALL {
         m.push_row(
             case.name(),
-            backends.iter().map(|&(_, b)| io_tput(b, case, scale)).collect(),
+            backends
+                .iter()
+                .map(|&(_, b)| io_tput(b, case, scale))
+                .collect(),
         );
     }
     // Key-value servers and SQLite round out the paper's eight columns.
     for kind in [KvKind::Redis, KvKind::Memcached] {
         m.push_row(
             kind.name(),
-            backends.iter().map(|&(_, b)| kv_tput(b, kind, 16, scale)).collect(),
+            backends
+                .iter()
+                .map(|&(_, b)| kv_tput(b, kind, 16, scale))
+                .collect(),
         );
     }
     m.push_row(
@@ -255,7 +297,14 @@ pub fn fig10a(scale: Scale) -> Matrix {
     let mut m = Matrix::new(
         "Figure 10a: page-fault latency breakdown",
         "ns per fault",
-        &["handler", "vm-exits", "spt/sept-emu", "ept-fault", "ksm-calls", "total"],
+        &[
+            "handler",
+            "vm-exits",
+            "spt/sept-emu",
+            "ept-fault",
+            "ksm-calls",
+            "total",
+        ],
     );
     for (name, backend) in [
         ("HVM-NST", Backend::HvmNested),
@@ -283,13 +332,18 @@ pub fn fig10a(scale: Scale) -> Matrix {
                 total,
             ],
         );
+        record_stack(&stack);
     }
     m
 }
 
 /// Figure 10b: empty-syscall latency with the OPT ablations.
 pub fn fig10b() -> Matrix {
-    let mut m = Matrix::new("Figure 10b: syscall latency + ablations", "ns", &["latency"]);
+    let mut m = Matrix::new(
+        "Figure 10b: syscall latency + ablations",
+        "ns",
+        &["latency"],
+    );
     for (name, backend) in [
         ("RunC", Backend::RunC),
         ("HVM", Backend::HvmBm),
@@ -305,9 +359,17 @@ pub fn fig10b() -> Matrix {
 
 /// Figure 11: lmbench, normalized to RunC.
 pub fn fig11(scale: Scale) -> Matrix {
-    let backends =
-        [("RunC", Backend::RunC), ("HVM", Backend::HvmBm), ("CKI", Backend::Cki), ("PVM", Backend::Pvm)];
-    let mut m = Matrix::new("Figure 11: lmbench", "ns/op (normalize to RunC)", &backends.map(|(n, _)| n));
+    let backends = [
+        ("RunC", Backend::RunC),
+        ("HVM", Backend::HvmBm),
+        ("CKI", Backend::Cki),
+        ("PVM", Backend::Pvm),
+    ];
+    let mut m = Matrix::new(
+        "Figure 11: lmbench",
+        "ns/op (normalize to RunC)",
+        &backends.map(|(n, _)| n),
+    );
     for case in LmCase::ALL {
         let iters = match case {
             LmCase::ForkExit | LmCase::ForkExecve => scale.n(120),
@@ -318,6 +380,7 @@ pub fn fig11(scale: Scale) -> Matrix {
             let mut stack = boot(b, 0);
             let mut env = stack.env();
             let r = lmbench::run_case(&mut env, case, iters).expect("lmbench case");
+            record_stack(&stack);
             row.push(r.ns_per_op());
         }
         m.push_row(case.name(), row);
@@ -343,7 +406,10 @@ pub fn fig12(scale: Scale) -> Matrix {
     for app in MemApp::ALL {
         m.push_row(
             app.name(),
-            backends.iter().map(|&(_, b)| mem_app_latency(b, app, scale)).collect(),
+            backends
+                .iter()
+                .map(|&(_, b)| mem_app_latency(b, app, scale))
+                .collect(),
         );
     }
     m
@@ -351,7 +417,11 @@ pub fn fig12(scale: Scale) -> Matrix {
 
 /// Figure 13a: secure-container overhead vs the BTree lookup/insert ratio.
 pub fn fig13a(scale: Scale) -> Matrix {
-    let backends = [("HVM-BM", Backend::HvmBm), ("PVM", Backend::Pvm), ("CKI", Backend::Cki)];
+    let backends = [
+        ("HVM-BM", Backend::HvmBm),
+        ("PVM", Backend::Pvm),
+        ("CKI", Backend::Cki),
+    ];
     let mut m = Matrix::new(
         "Figure 13a: BTree overhead vs lookup/insert ratio",
         "% over RunC",
@@ -361,12 +431,20 @@ pub fn fig13a(scale: Scale) -> Matrix {
         let run = |b: Backend| {
             let mut stack = boot(b, 0);
             let mut env = stack.env();
-            BTreeWorkload::new(scale.n(12_000), ratio).run(&mut env).expect("btree").ns
+            let ns = BTreeWorkload::new(scale.n(12_000), ratio)
+                .run(&mut env)
+                .expect("btree")
+                .ns;
+            record_stack(&stack);
+            ns
         };
         let base = run(Backend::RunC);
         m.push_row(
             &format!("ratio={ratio}"),
-            backends.iter().map(|&(_, b)| (run(b) / base - 1.0) * 100.0).collect(),
+            backends
+                .iter()
+                .map(|&(_, b)| (run(b) / base - 1.0) * 100.0)
+                .collect(),
         );
     }
     m
@@ -374,7 +452,11 @@ pub fn fig13a(scale: Scale) -> Matrix {
 
 /// Figure 13b: secure-container overhead vs the XSBench particle count.
 pub fn fig13b(scale: Scale) -> Matrix {
-    let backends = [("HVM-BM", Backend::HvmBm), ("PVM", Backend::Pvm), ("CKI", Backend::Cki)];
+    let backends = [
+        ("HVM-BM", Backend::HvmBm),
+        ("PVM", Backend::Pvm),
+        ("CKI", Backend::Cki),
+    ];
     let mut m = Matrix::new(
         "Figure 13b: XSBench overhead vs particles",
         "% over RunC",
@@ -385,12 +467,20 @@ pub fn fig13b(scale: Scale) -> Matrix {
         let run = |b: Backend| {
             let mut stack = boot(b, 0);
             let mut env = stack.env();
-            XsBenchWorkload::new(scale.n(6_000) * 4096, p).run(&mut env).expect("xsbench").ns
+            let ns = XsBenchWorkload::new(scale.n(6_000) * 4096, p)
+                .run(&mut env)
+                .expect("xsbench")
+                .ns;
+            record_stack(&stack);
+            ns
         };
         let base = run(Backend::RunC);
         m.push_row(
             &format!("particles={particles}"),
-            backends.iter().map(|&(_, b)| (run(b) / base - 1.0) * 100.0).collect(),
+            backends
+                .iter()
+                .map(|&(_, b)| (run(b) / base - 1.0) * 100.0)
+                .collect(),
         );
     }
     m
@@ -413,20 +503,29 @@ pub fn table4(scale: Scale) -> Matrix {
     let gups = |b: Backend| {
         let mut stack = boot(b, 0);
         let mut env = stack.env();
-        GupsWorkload::new(192 * 1024 * 1024, scale.n(400_000))
+        let ns = GupsWorkload::new(192 * 1024 * 1024, scale.n(400_000))
             .run(&mut env)
             .expect("gups")
-            .ns
-            / 1e6
+            .ns;
+        record_stack(&stack);
+        ns / 1e6
     };
     m.push_row("GUPS", backends.iter().map(|&(_, b)| gups(b)).collect());
     let btree = |b: Backend| {
         let mut stack = boot(b, 0);
         let mut env = stack.env();
         let mut w = BTreeWorkload::new(scale.n(160_000), 0);
-        w.run_lookup_only(&mut env, scale.n(300_000)).expect("btree lookup").ns / 1e6
+        let ns = w
+            .run_lookup_only(&mut env, scale.n(300_000))
+            .expect("btree lookup")
+            .ns;
+        record_stack(&stack);
+        ns / 1e6
     };
-    m.push_row("BTree-Lookup", backends.iter().map(|&(_, b)| btree(b)).collect());
+    m.push_row(
+        "BTree-Lookup",
+        backends.iter().map(|&(_, b)| btree(b)).collect(),
+    );
     m
 }
 
@@ -434,13 +533,21 @@ pub fn table4(scale: Scale) -> Matrix {
 pub fn sqlite_run(backend: Backend, case: SqliteCase, scale: Scale) -> workloads::Report {
     let mut stack = boot(backend, 0);
     let mut env = stack.env();
-    SqliteWorkload::new(scale.n(4_000)).run(&mut env, case).expect("sqlite")
+    let report = SqliteWorkload::new(scale.n(4_000))
+        .run(&mut env, case)
+        .expect("sqlite");
+    record_stack(&stack);
+    report
 }
 
 /// Figure 14: SQLite throughput per case and backend, plus syscall rate.
 pub fn fig14(scale: Scale) -> (Matrix, Matrix) {
-    let backends =
-        [("PVM", Backend::Pvm), ("CKI", Backend::Cki), ("HVM", Backend::HvmBm), ("RunC", Backend::RunC)];
+    let backends = [
+        ("PVM", Backend::Pvm),
+        ("CKI", Backend::Cki),
+        ("HVM", Backend::HvmBm),
+        ("RunC", Backend::RunC),
+    ];
     let mut tput = Matrix::new(
         "Figure 14: SQLite throughput",
         "ops/s (normalize to RunC)",
@@ -500,7 +607,10 @@ pub fn kv_tput(backend: Backend, kind: KvKind, clients: u32, scale: Scale) -> f6
     let mut stack = boot(backend, per_vcpu_clients);
     let mut env = stack.env();
     let reqs = scale.n(3_000);
-    let r = KvServerWorkload::new(kind, reqs).run(&mut env).expect("kv run");
+    let r = KvServerWorkload::new(kind, reqs)
+        .run(&mut env)
+        .expect("kv run");
+    record_stack(&stack);
     r.ops_per_sec() * active as f64
 }
 
@@ -546,27 +656,60 @@ pub fn table3() -> Matrix {
         ("lgdt", Instr::Lgdt { base: 0 }),
         ("ltr", Instr::Ltr { selector: 0 }),
         ("rdmsr", Instr::Rdmsr { msr: 0x10 }),
-        ("wrmsr", Instr::Wrmsr { msr: 0x10, value: 0 }),
+        (
+            "wrmsr",
+            Instr::Wrmsr {
+                msr: 0x10,
+                value: 0,
+            },
+        ),
         ("mov reg, cr0", Instr::ReadCr { cr: 0 }),
         ("mov reg, cr4", Instr::ReadCr { cr: 4 }),
         ("mov cr0, reg", Instr::WriteCr0 { value: 0x8000_0033 }),
         ("mov cr4, reg", Instr::WriteCr4 { value: 0 }),
-        ("mov cr3, reg", Instr::WriteCr3 { value: 0, preserve_tlb: true }),
+        (
+            "mov cr3, reg",
+            Instr::WriteCr3 {
+                value: 0,
+                preserve_tlb: true,
+            },
+        ),
         ("clac", Instr::Clac),
         ("stac", Instr::Stac),
         ("invlpg", Instr::Invlpg { va: 0x1000 }),
-        ("invpcid", Instr::Invpcid { mode: InvpcidMode::AllContexts }),
+        (
+            "invpcid",
+            Instr::Invpcid {
+                mode: InvpcidMode::AllContexts,
+            },
+        ),
         ("swapgs", Instr::Swapgs),
         ("sysret", Instr::Sysret { restore_if: true }),
-        ("iret", Instr::Iret { frame: IretFrame::default() }),
+        (
+            "iret",
+            Instr::Iret {
+                frame: IretFrame::default(),
+            },
+        ),
         ("hlt", Instr::Hlt),
         ("cli", Instr::Cli),
         ("sti", Instr::Sti),
         ("popf", Instr::Popf { if_flag: true }),
         ("in", Instr::InPort { port: 0x60 }),
-        ("out", Instr::OutPort { port: 0x60, value: 0 }),
+        (
+            "out",
+            Instr::OutPort {
+                port: 0x60,
+                value: 0,
+            },
+        ),
         ("smsw", Instr::Smsw),
-        ("wrpkrs", Instr::Wrpkrs { value: cki_core::pkrs_guest() }),
+        (
+            "wrpkrs",
+            Instr::Wrpkrs {
+                value: cki_core::pkrs_guest(),
+            },
+        ),
     ];
     let mut m = Matrix::new(
         "Table 3: privileged instructions in the deprivileged guest kernel",
@@ -590,18 +733,35 @@ pub fn table3() -> Matrix {
 /// Table 5: comparison with prior intra-kernel isolation work (static,
 /// from the paper's related-work analysis; 1 = has the property).
 pub fn table5() -> Matrix {
-    let systems = ["NestedKernel", "LVD", "UnderBridge", "NICKLE", "SILVER", "BULKHEAD", "CKI"];
+    let systems = [
+        "NestedKernel",
+        "LVD",
+        "UnderBridge",
+        "NICKLE",
+        "SILVER",
+        "BULKHEAD",
+        "CKI",
+    ];
     let mut m = Matrix::new(
         "Table 5: intra-kernel isolation domain comparison",
         "1 = property held",
         &systems,
     );
     m.push_row("scalable domains", vec![0., 1., 0., 0., 1., 1., 1.]);
-    m.push_row("secure+efficient pgtbl mgmt", vec![1., 0., 0., 0., 1., 1., 1.]);
+    m.push_row(
+        "secure+efficient pgtbl mgmt",
+        vec![1., 0., 0., 0., 1., 1., 1.],
+    );
     m.push_row("no virt hardware", vec![1., 0., 0., 0., 1., 1., 1.]);
-    m.push_row("complete priv-inst isolation", vec![0., 1., 1., 0., 0., 0., 1.]);
+    m.push_row(
+        "complete priv-inst isolation",
+        vec![0., 1., 1., 0., 0., 0., 1.],
+    );
     m.push_row("interrupt redirection", vec![0., 1., 1., 0., 1., 1., 1.]);
-    m.push_row("interrupt-forgery prevention", vec![0., 0., 0., 0., 0., 0., 1.]);
+    m.push_row(
+        "interrupt-forgery prevention",
+        vec![0., 0., 0., 0., 0., 0., 1.],
+    );
     m
 }
 
@@ -632,7 +792,10 @@ mod tests {
         let wo3 = m.get("CKI-wo-OPT3", "latency");
         let wo2 = m.get("CKI-wo-OPT2", "latency");
         let pvm = m.get("PVM", "latency");
-        assert!(cki < wo3 && wo3 < wo2 && wo2 < pvm, "{cki} {wo3} {wo2} {pvm}");
+        assert!(
+            cki < wo3 && wo3 < wo2 && wo2 < pvm,
+            "{cki} {wo3} {wo2} {pvm}"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! complete `run_all` finishes in minutes.
 
 pub mod experiments;
+pub mod harness;
 pub mod util;
 
 pub use util::{Matrix, Scale};

@@ -90,8 +90,16 @@ impl Matrix {
 
     /// Cell accessor by labels.
     pub fn get(&self, row: &str, col: &str) -> f64 {
-        let r = self.rows.iter().position(|x| x == row).unwrap_or_else(|| panic!("no row {row}"));
-        let c = self.cols.iter().position(|x| x == col).unwrap_or_else(|| panic!("no col {col}"));
+        let r = self
+            .rows
+            .iter()
+            .position(|x| x == row)
+            .unwrap_or_else(|| panic!("no row {row}"));
+        let c = self
+            .cols
+            .iter()
+            .position(|x| x == col)
+            .unwrap_or_else(|| panic!("no col {col}"));
         self.data[r][c]
     }
 
@@ -121,6 +129,50 @@ impl Matrix {
         s
     }
 
+    /// Renders the matrix as one JSON object (title, unit, cols, rows,
+    /// data) for the machine-readable `results/run_all.json` summary.
+    pub fn to_json(&self) -> String {
+        use obs::export::json_escape;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"title\":\"{}\",\"unit\":\"{}\",\"cols\":[",
+            json_escape(&self.title),
+            json_escape(&self.unit)
+        );
+        let quote_list = |items: &[String]| {
+            items
+                .iter()
+                .map(|i| format!("\"{}\"", json_escape(i)))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = write!(
+            s,
+            "{}],\"rows\":[{}],\"data\":[",
+            quote_list(&self.cols),
+            quote_list(&self.rows)
+        );
+        for (i, row) in self.data.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| {
+                    if v.is_finite() {
+                        format!("{v}")
+                    } else {
+                        "null".to_string()
+                    }
+                })
+                .collect();
+            let _ = write!(s, "[{}]", cells.join(","));
+        }
+        s.push_str("]}");
+        s
+    }
+
     /// Writes the matrix as a TSV file (creating parent directories).
     ///
     /// # Panics
@@ -147,6 +199,55 @@ impl Matrix {
     }
 }
 
+/// Capture window for per-experiment metrics snapshots.
+///
+/// Experiment functions boot stacks internally and return only matrices, so
+/// `run_all` cannot reach the registries afterwards. Instead, each
+/// measurement helper publishes its finished stack's snapshot here;
+/// `run_all` brackets every experiment with [`sink::begin`] / [`sink::end`]
+/// and embeds the result in `results/run_all.json`. Outside a window,
+/// recording is a no-op, so tests and one-off bins pay nothing.
+pub mod sink {
+    use std::cell::RefCell;
+
+    use obs::MetricsSnapshot;
+
+    thread_local! {
+        static ACTIVE: RefCell<Option<Vec<(String, MetricsSnapshot)>>> =
+            const { RefCell::new(None) };
+    }
+
+    /// Opens a capture window (discarding any previous one).
+    pub fn begin() {
+        ACTIVE.with(|a| *a.borrow_mut() = Some(Vec::new()));
+    }
+
+    /// Publishes one stack's snapshot under `tag` (usually the backend
+    /// name). No-op outside a window.
+    pub fn record(tag: &str, snapshot: MetricsSnapshot) {
+        ACTIVE.with(|a| {
+            if let Some(v) = a.borrow_mut().as_mut() {
+                v.push((tag.to_owned(), snapshot));
+            }
+        });
+    }
+
+    /// Closes the window, returning the snapshots merged per tag (an
+    /// experiment that boots a backend several times yields one summed
+    /// snapshot for it), in first-recorded order.
+    pub fn end() -> Vec<(String, MetricsSnapshot)> {
+        let raw = ACTIVE.with(|a| a.borrow_mut().take()).unwrap_or_default();
+        let mut merged: Vec<(String, MetricsSnapshot)> = Vec::new();
+        for (tag, snap) in raw {
+            match merged.iter_mut().find(|(t, _)| *t == tag) {
+                Some((_, m)) => *m = m.merge(&snap),
+                None => merged.push((tag, snap)),
+            }
+        }
+        merged
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,7 +269,41 @@ mod tests {
         let mut m = Matrix::new("Demo", "ns", &["A"]);
         m.push_row("row1", vec![1234.5]);
         let out = m.render();
-        assert!(out.contains("Demo") && out.contains("row1") && out.contains("1234") || out.contains("1235"));
+        assert!(
+            out.contains("Demo") && out.contains("row1") && out.contains("1234")
+                || out.contains("1235")
+        );
+    }
+
+    #[test]
+    fn to_json_is_balanced_and_complete() {
+        let mut m = Matrix::new("Fig \"X\"", "ns", &["RunC", "CKI"]);
+        m.push_row("a", vec![100.0, 110.5]);
+        let json = m.to_json();
+        assert!(obs::export::json_balanced(&json));
+        assert!(json.contains("\"Fig \\\"X\\\"\""));
+        assert!(json.contains("\"cols\":[\"RunC\",\"CKI\"]"));
+        assert!(json.contains("\"data\":[[100,110.5]]"));
+    }
+
+    #[test]
+    fn sink_merges_per_tag() {
+        let mut r = obs::MetricsRegistry::new();
+        let c = r.counter("x");
+        r.add(c, 2);
+        // No window: recording is dropped.
+        sink::record("CKI", r.snapshot());
+        assert!(sink::end().is_empty());
+        sink::begin();
+        sink::record("CKI", r.snapshot());
+        r.add(c, 3);
+        sink::record("CKI", r.snapshot());
+        sink::record("PVM", r.snapshot());
+        let out = sink::end();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, "CKI");
+        assert_eq!(out[0].1.get("x"), 7, "2 + 5 merged");
+        assert_eq!(out[1].1.get("x"), 5);
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub struct KernelApp {
 impl KernelApp {
     /// Creates an in-kernel application context.
     pub fn new(name: &'static str) -> Self {
-        Self { name, stats: FastPathStats::default() }
+        Self {
+            name,
+            stats: FastPathStats::default(),
+        }
     }
 
     /// A fast syscall: PKS switch into the kernel view, run the handler,
@@ -108,14 +111,15 @@ mod tests {
         // same reason the KSM gate does not (§3.3): only container-private
         // data is visible across it.
         let model = m.cpu.clock.model().clone();
-        let trap_ns = model.cycles_to_ns(
-            model.syscall_entry + 2 * model.swapgs + costs::DISPATCH + model.sysret,
-        );
-        let trap_mitigated_ns =
-            trap_ns + model.cycles_to_ns(model.pti + model.ibrs);
+        let trap_ns = model
+            .cycles_to_ns(model.syscall_entry + 2 * model.swapgs + costs::DISPATCH + model.sysret);
+        let trap_mitigated_ns = trap_ns + model.cycles_to_ns(model.pti + model.ibrs);
 
         // Raw crossing cost is comparable to an unmitigated trap...
-        assert!(fast_ns < 1.3 * trap_ns, "fast {fast_ns:.0} vs trap {trap_ns:.0}");
+        assert!(
+            fast_ns < 1.3 * trap_ns,
+            "fast {fast_ns:.0} vs trap {trap_ns:.0}"
+        );
         // ...and several times cheaper than the mitigated trap real
         // deployments pay.
         assert!(
@@ -134,7 +138,13 @@ mod tests {
         // instructions — same Table 3 policy as a guest kernel.
         let r = m.cpu.exec(&mut m.mem, Instr::Cli);
         assert!(matches!(r, Err(sim_hw::Fault::BlockedPrivileged { .. })));
-        let r = m.cpu.exec(&mut m.mem, Instr::Wrmsr { msr: 0x10, value: 1 });
+        let r = m.cpu.exec(
+            &mut m.mem,
+            Instr::Wrmsr {
+                msr: 0x10,
+                value: 1,
+            },
+        );
         assert!(matches!(r, Err(sim_hw::Fault::BlockedPrivileged { .. })));
     }
 

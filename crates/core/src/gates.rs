@@ -15,7 +15,7 @@
 //! - **Stack attacks**: gates run on the per-vCPU secure stack at a
 //!   constant virtual address (Figure 8c), never trusting `kernel_gs`.
 
-use sim_hw::{Access, Fault, IretFrame, Instr, Machine, Tag};
+use sim_hw::{Access, Fault, Instr, IretFrame, Machine, Tag};
 
 use crate::ksm::{pkrs_guest, Ksm, KsmError, PERVCPU_BASE, SEC_STACK_TOP};
 
@@ -83,37 +83,55 @@ pub fn ksm_call_from<R>(
     handler: impl FnOnce(&mut Machine, &mut Ksm) -> Result<R, KsmError>,
 ) -> Result<Result<R, KsmError>, GateAbort> {
     let saved_rsp = m.cpu.rsp;
+    let span = m.cpu.span_enter("cki.ksm_call");
+    let r = (|| {
+        if entry == GateEntry::TailWrpkrs {
+            // ROP directly to the exit switch: wrpkrs executes with the
+            // attacker's rax, then the check fires. With the already-correct
+            // value the jump achieves nothing and control simply returns.
+            switch_pks(m, rax, pkrs_guest())?;
+            return Err(GateAbort::BenignReturn);
+        }
 
-    if entry == GateEntry::TailWrpkrs {
-        // ROP directly to the exit switch: wrpkrs executes with the
-        // attacker's rax, then the check fires. With the already-correct
-        // value the jump achieves nothing and control simply returns.
-        switch_pks(m, rax, pkrs_guest())?;
-        return Err(GateAbort::BenignReturn);
-    }
+        let enter = m.cpu.span_enter("cki.gate.enter");
+        if entry == GateEntry::Start {
+            if let Err(e) = switch_pks(m, rax, 0) {
+                m.cpu.span_exit(enter);
+                return Err(e);
+            }
+        }
 
-    if entry == GateEntry::Start {
-        switch_pks(m, rax, 0)?;
-    }
+        // mov $PERCPU_SEC_STACK, %rsp — then push the saved rsp. The store
+        // faults if PKRS still denies the KSM key (forged entry).
+        m.cpu.rsp = SEC_STACK_TOP;
+        if let Err(f) = m
+            .cpu
+            .mem_access(&mut m.mem, SEC_STACK_TOP - 8, Access::Write, None)
+        {
+            m.cpu.span_exit(enter);
+            return Err(GateAbort::Fault(f));
+        }
+        let c = m.cpu.clock.model().ksm_stack_switch;
+        m.cpu.clock.charge(Tag::KsmCall, c);
+        m.cpu.span_exit(enter);
 
-    // mov $PERCPU_SEC_STACK, %rsp — then push the saved rsp. The store
-    // faults if PKRS still denies the KSM key (forged entry).
-    m.cpu.rsp = SEC_STACK_TOP;
-    m.cpu
-        .mem_access(&mut m.mem, SEC_STACK_TOP - 8, Access::Write, None)
-        .map_err(GateAbort::Fault)?;
-    let c = m.cpu.clock.model().ksm_stack_switch;
-    m.cpu.clock.charge(Tag::KsmCall, c);
+        // The KSM handler runs with full memory view.
+        let verify = m.cpu.span_enter("cki.ksm.verify");
+        let v = m.cpu.clock.model().ksm_validate;
+        m.cpu.clock.charge(Tag::KsmCall, v);
+        let result = handler(m, ksm);
+        m.cpu.span_exit(verify);
 
-    // The KSM handler runs with full memory view.
-    let v = m.cpu.clock.model().ksm_validate;
-    m.cpu.clock.charge(Tag::KsmCall, v);
-    let result = handler(m, ksm);
-
-    // pop / restore stack, then switch back to the guest's PKRS.
-    m.cpu.rsp = saved_rsp;
-    switch_pks(m, pkrs_guest(), pkrs_guest())?;
-    Ok(result)
+        // pop / restore stack, then switch back to the guest's PKRS.
+        let exit = m.cpu.span_enter("cki.gate.exit");
+        m.cpu.rsp = saved_rsp;
+        let sw = switch_pks(m, pkrs_guest(), pkrs_guest());
+        m.cpu.span_exit(exit);
+        sw?;
+        Ok(result)
+    })();
+    m.cpu.span_exit(span);
+    r
 }
 
 /// A request saved in the per-vCPU area for the host to read.
@@ -137,26 +155,35 @@ pub fn interrupt_gate(
     vector: u8,
     host_handler: impl FnOnce(&mut Machine),
 ) -> Result<IrqRecord, GateAbort> {
-    // save IRQ info (\irqno, errcode) — stores into the per-vCPU area.
-    // With PKRS != 0 (forged entry: nobody cleared PKRS) this store dies
-    // with a protection-key fault.
-    let rec_pa = m
-        .cpu
-        .mem_access(&mut m.mem, PERVCPU_BASE + 0x100, Access::Write, None)
-        .map_err(GateAbort::Fault)?;
-    m.mem.write_u8(rec_pa, vector);
-    let record = IrqRecord { vector, hw_delivered: true };
+    let span = m.cpu.span_enter("cki.gate.irq");
+    let r = (|| {
+        // save IRQ info (\irqno, errcode) — stores into the per-vCPU area.
+        // With PKRS != 0 (forged entry: nobody cleared PKRS) this store dies
+        // with a protection-key fault.
+        let rec_pa = m
+            .cpu
+            .mem_access(&mut m.mem, PERVCPU_BASE + 0x100, Access::Write, None)
+            .map_err(GateAbort::Fault)?;
+        m.mem.write_u8(rec_pa, vector);
+        let record = IrqRecord {
+            vector,
+            hw_delivered: true,
+        };
 
-    // exit_to_host: full context switch (registers + CR3), charged.
-    exit_to_host(m);
-    host_handler(m);
-    enter_from_host(m);
+        // exit_to_host: full context switch (registers + CR3), charged.
+        exit_to_host(m);
+        host_handler(m);
+        enter_from_host(m);
 
-    // iret — restores mode, IF, rsp, and (CKI extension) PKRS.
-    m.cpu
-        .exec(&mut m.mem, Instr::Iret { frame })
-        .map_err(GateAbort::Fault)?;
-    Ok(record)
+        // iret — restores mode, IF, rsp, and (CKI extension) PKRS.
+        let iret = m.cpu.span_enter("cki.iret");
+        let x = m.cpu.exec(&mut m.mem, Instr::Iret { frame });
+        m.cpu.span_exit(iret);
+        x.map_err(GateAbort::Fault)?;
+        Ok(record)
+    })();
+    m.cpu.span_exit(span);
+    r
 }
 
 /// The hypercall gate (Figure 8b): `switch_pks $0`, exit to host, run the
@@ -166,12 +193,17 @@ pub fn hypercall_gate<R>(
     rax: u32,
     host_handler: impl FnOnce(&mut Machine) -> R,
 ) -> Result<R, GateAbort> {
-    switch_pks(m, rax, 0)?;
-    exit_to_host(m);
-    let r = host_handler(m);
-    enter_from_host(m);
-    switch_pks(m, pkrs_guest(), pkrs_guest())?;
-    Ok(r)
+    let span = m.cpu.span_enter("cki.gate.hypercall");
+    let r = (|| {
+        switch_pks(m, rax, 0)?;
+        exit_to_host(m);
+        let r = host_handler(m);
+        enter_from_host(m);
+        switch_pks(m, pkrs_guest(), pkrs_guest())?;
+        Ok(r)
+    })();
+    m.cpu.span_exit(span);
+    r
 }
 
 /// Context-switch cost of leaving the guest for the host kernel: register
@@ -200,7 +232,10 @@ mod tests {
     fn setup() -> (Machine, Ksm, FrameAllocator) {
         let mut m = Machine::new(1024 * 1024 * 1024, HwExtensions::cki());
         let base = m.frames.alloc_contiguous(4096).expect("segment");
-        let seg = Segment { start: base, end: base + 4096 * PAGE_SIZE };
+        let seg = Segment {
+            start: base,
+            end: base + 4096 * PAGE_SIZE,
+        };
         let ksm = Ksm::new(&mut m, seg, 1, 3);
         let ga = FrameAllocator::new(seg.start, seg.end);
         (m, ksm, ga)
@@ -257,9 +292,13 @@ mod tests {
         enter_guest(&mut m, &mut ksm, &mut ga);
         // Jump past the entry switch_pks: PKRS still PKRS_GUEST, so the
         // secure-stack store hits the KSM key.
-        let r = ksm_call_from(&mut m, &mut ksm, GateEntry::AfterEntrySwitch, 0, |_m, _k| {
-            Ok::<u64, KsmError>(0)
-        });
+        let r = ksm_call_from(
+            &mut m,
+            &mut ksm,
+            GateEntry::AfterEntrySwitch,
+            0,
+            |_m, _k| Ok::<u64, KsmError>(0),
+        );
         match r.unwrap_err() {
             GateAbort::Fault(Fault::PkViolation { key, .. }) => assert_eq!(key, KEY_KSM),
             other => panic!("expected PK violation, got {other:?}"),
@@ -273,7 +312,10 @@ mod tests {
         m.cpu.idtr = ksm.idt_pa;
         m.cpu.tss_base = ksm.tss_pa;
         // Hardware delivers the interrupt: PKRS is saved and cleared.
-        let d = m.cpu.deliver_interrupt(&mut m.mem, VEC_VIRTIO, true).unwrap();
+        let d = m
+            .cpu
+            .deliver_interrupt(&mut m.mem, VEC_VIRTIO, true)
+            .unwrap();
         assert_eq!(m.cpu.pkrs, 0, "IDT extension cleared PKRS");
         assert_eq!(d.frame.pkrs, pkrs_guest());
         let mut host_ran = false;
@@ -290,11 +332,20 @@ mod tests {
         m.cpu.idtr = ksm.idt_pa;
         // The guest jumps directly to the interrupt gate: no hardware
         // delivery, so PKRS is still PKRS_GUEST.
-        let fake_frame = IretFrame { rip: 0, user_mode: false, if_flag: true, rsp: 0, pkrs: 0 };
+        let fake_frame = IretFrame {
+            rip: 0,
+            user_mode: false,
+            if_flag: true,
+            rsp: 0,
+            pkrs: 0,
+        };
         let mut host_ran = false;
         let r = interrupt_gate(&mut m, fake_frame, VEC_VIRTIO, |_m| host_ran = true);
         assert!(
-            matches!(r.unwrap_err(), GateAbort::Fault(Fault::PkViolation { key: KEY_KSM, .. })),
+            matches!(
+                r.unwrap_err(),
+                GateAbort::Fault(Fault::PkViolation { key: KEY_KSM, .. })
+            ),
             "forgery blocked before reaching the host"
         );
         assert!(!host_ran, "host handler never saw the forged interrupt");
@@ -309,7 +360,12 @@ mod tests {
         // A vector without IST, delivered on a guest-writable stack (the
         // physmap alias of a delegated data frame).
         let stack_frame = ga.alloc().unwrap();
-        IdtEntry { handler: 0x77, ist: 0, present: true }.write_to(&mut m.mem, ksm.idt_pa, 48);
+        IdtEntry {
+            handler: 0x77,
+            ist: 0,
+            present: true,
+        }
+        .write_to(&mut m.mem, ksm.idt_pa, 48);
         m.cpu.rsp = ksm.physmap_va(stack_frame) + 0xff8;
         let before = m.cpu.pkrs;
         let d = m.cpu.deliver_interrupt(&mut m.mem, 48, false).unwrap();
@@ -327,10 +383,17 @@ mod tests {
         // the KSM-keyed IST stack while PKRS = PKRS_GUEST, faulting; the
         // hardware-raised #DF (PKRS cleared) hands control to the host
         // instead of triple-faulting the machine.
-        let d = m.cpu.deliver_interrupt(&mut m.mem, VEC_VIRTIO, false).unwrap();
+        let d = m
+            .cpu
+            .deliver_interrupt(&mut m.mem, VEC_VIRTIO, false)
+            .unwrap();
         assert_eq!(d.handler, crate::ksm::INTR_GATE_TOKEN, "#DF gate");
         assert_eq!(m.cpu.pkrs, 0, "#DF delivery cleared PKRS");
-        assert_eq!(d.frame.pkrs, pkrs_guest(), "original PKRS preserved for audit");
+        assert_eq!(
+            d.frame.pkrs,
+            pkrs_guest(),
+            "original PKRS preserved for audit"
+        );
     }
 
     #[test]
@@ -342,7 +405,10 @@ mod tests {
         assert_eq!(out, 42);
         assert_eq!(m.cpu.pkrs, pkrs_guest());
         let ns = m.cpu.clock.since_ns(mark);
-        assert!((250.0..450.0).contains(&ns), "CKI hypercall gate = {ns} ns (§7.1: 390 ns)");
+        assert!(
+            (250.0..450.0).contains(&ns),
+            "CKI hypercall gate = {ns} ns (§7.1: 390 ns)"
+        );
     }
 
     #[test]
@@ -355,7 +421,10 @@ mod tests {
         // delegated segment, so there is no alias at all.
         assert!(!ksm.seg.contains(ksm.idt_pa));
         // Blocked from reloading IDTR too (Table 3).
-        let err = m.cpu.exec(&mut m.mem, Instr::Lidt { base: 0xdead_b000 }).unwrap_err();
+        let err = m
+            .cpu
+            .exec(&mut m.mem, Instr::Lidt { base: 0xdead_b000 })
+            .unwrap_err();
         assert!(matches!(err, Fault::BlockedPrivileged { mnemonic: "lidt" }));
         // The IDT entry is intact.
         let e = IdtEntry::read_from(&mut m.mem, ksm.idt_pa, VEC_VIRTIO);

@@ -149,9 +149,14 @@ impl Ksm {
         let mut pa = seg.start;
         while pa < seg.end {
             let va = PHYSMAP_BASE + (pa - seg.start);
-            PageTables::map(mem, template_root, va, pa, MapFlags::kernel_rw(), &mut || {
-                frames.alloc()
-            })
+            PageTables::map(
+                mem,
+                template_root,
+                va,
+                pa,
+                MapFlags::kernel_rw(),
+                &mut || frames.alloc(),
+            )
             .expect("physmap mapping");
             pa += PAGE_SIZE;
         }
@@ -222,25 +227,28 @@ impl Ksm {
     /// Installs the interrupt gate in the IDT and the IST stacks in the TSS
     /// — all in KSM memory the guest cannot touch (§4.4).
     fn init_interrupts(&mut self, m: &mut Machine) {
-        IdtEntry { handler: INTR_GATE_TOKEN, ist: 1, present: true }.write_to(
-            &mut m.mem,
-            self.idt_pa,
-            VEC_VIRTIO,
-        );
+        IdtEntry {
+            handler: INTR_GATE_TOKEN,
+            ist: 1,
+            present: true,
+        }
+        .write_to(&mut m.mem, self.idt_pa, VEC_VIRTIO);
         // Timer vector shares the gate.
-        IdtEntry { handler: INTR_GATE_TOKEN, ist: 1, present: true }.write_to(
-            &mut m.mem,
-            self.idt_pa,
-            32,
-        );
+        IdtEntry {
+            handler: INTR_GATE_TOKEN,
+            ist: 1,
+            present: true,
+        }
+        .write_to(&mut m.mem, self.idt_pa, 32);
         // Double fault: hardware-raised, so the PKRS-switch extension makes
         // its KSM-owned IST stack writable; the host kills the container
         // instead of the machine triple-faulting (§4.4).
-        IdtEntry { handler: INTR_GATE_TOKEN, ist: 1, present: true }.write_to(
-            &mut m.mem,
-            self.idt_pa,
-            8,
-        );
+        IdtEntry {
+            handler: INTR_GATE_TOKEN,
+            ist: 1,
+            present: true,
+        }
+        .write_to(&mut m.mem, self.idt_pa, 8);
         // The IST stack lives in the per-vCPU area (constant VA).
         idt::write_ist(&mut m.mem, self.tss_pa, 1, PERVCPU_BASE + 0xe00);
     }
@@ -261,7 +269,10 @@ impl Ksm {
     }
 
     fn desc(&self, pa: Phys) -> PageDesc {
-        self.descs.get(&pa).copied().unwrap_or(PageDesc { kind: PageKind::Data, mapped: 0 })
+        self.descs.get(&pa).copied().unwrap_or(PageDesc {
+            kind: PageKind::Data,
+            mapped: 0,
+        })
     }
 
     /// KSM call: declare `pa` as a page-table page at `level`.
@@ -289,9 +300,20 @@ impl Ksm {
         let leaf = PageTables::walk(&mut m.mem, self.template_root, va)
             .expect("physmap covers the segment")
             .leaf;
-        PageTables::update_leaf(&mut m.mem, self.template_root, va, pte::with_pkey(leaf, KEY_PTP));
+        PageTables::update_leaf(
+            &mut m.mem,
+            self.template_root,
+            va,
+            pte::with_pkey(leaf, KEY_PTP),
+        );
         m.cpu.tlb.flush_va(va, self.pcid);
-        self.descs.insert(pa, PageDesc { kind: PageKind::Ptp { level }, mapped: 1 });
+        self.descs.insert(
+            pa,
+            PageDesc {
+                kind: PageKind::Ptp { level },
+                mapped: 1,
+            },
+        );
         self.stats.declares += 1;
 
         if level == 4 {
@@ -428,7 +450,12 @@ impl Ksm {
 
     /// KSM call: read root entry `index`, propagating A/D bits from the
     /// per-vCPU copies into the original (§4.3).
-    pub fn read_root_pte(&mut self, m: &mut Machine, root: Phys, index: usize) -> Result<u64, KsmError> {
+    pub fn read_root_pte(
+        &mut self,
+        m: &mut Machine,
+        root: Phys,
+        index: usize,
+    ) -> Result<u64, KsmError> {
         self.stats.calls += 1;
         let Some(copies) = self.root_copies.get(&root) else {
             return Err(KsmError::BadRoot);
@@ -450,7 +477,11 @@ impl Ksm {
     pub fn set_cr0_ts(&mut self, m: &mut Machine, ts: bool) -> Result<(), KsmError> {
         self.stats.calls += 1;
         const CR0_TS: u64 = 1 << 3;
-        let new_cr0 = if ts { m.cpu.cr0 | CR0_TS } else { m.cpu.cr0 & !CR0_TS };
+        let new_cr0 = if ts {
+            m.cpu.cr0 | CR0_TS
+        } else {
+            m.cpu.cr0 & !CR0_TS
+        };
         // The KSM executes the privileged write on the guest's behalf.
         m.cpu
             .exec(&mut m.mem, sim_hw::Instr::WriteCr0 { value: new_cr0 })
@@ -490,7 +521,9 @@ impl Ksm {
 
     /// The per-vCPU copy currently backing `root` for `vcpu` (tests).
     pub fn root_copy(&self, root: Phys, vcpu: u32) -> Option<Phys> {
-        self.root_copies.get(&root).map(|c| c[vcpu as usize % c.len()])
+        self.root_copies
+            .get(&root)
+            .map(|c| c[vcpu as usize % c.len()])
     }
 
     /// The template root holding the kernel-half mappings (tests).
@@ -518,7 +551,10 @@ mod tests {
     fn setup() -> (Machine, Ksm, FrameAllocator) {
         let mut m = Machine::new(1024 * 1024 * 1024, HwExtensions::cki());
         let base = m.frames.alloc_contiguous(16 * 1024).expect("segment"); // 64 MiB
-        let seg = Segment { start: base, end: base + 16 * 1024 * PAGE_SIZE };
+        let seg = Segment {
+            start: base,
+            end: base + 16 * 1024 * PAGE_SIZE,
+        };
         let ksm = Ksm::new(&mut m, seg, 2, 3);
         let guest_alloc = FrameAllocator::new(seg.start, seg.end);
         (m, ksm, guest_alloc)
@@ -531,17 +567,32 @@ mod tests {
         ksm.declare_ptp(&mut m, root, 4).unwrap();
         let pt3 = ga.alloc().unwrap();
         ksm.declare_ptp(&mut m, pt3, 3).unwrap();
-        ksm.update_pte(&mut m, root, pt_index(0x40_0000, 4), pte::make(pt3, pte::P | pte::W | pte::U))
-            .unwrap();
+        ksm.update_pte(
+            &mut m,
+            root,
+            pt_index(0x40_0000, 4),
+            pte::make(pt3, pte::P | pte::W | pte::U),
+        )
+        .unwrap();
         let data = ga.alloc().unwrap();
         let pt2 = ga.alloc().unwrap();
         let pt1 = ga.alloc().unwrap();
         ksm.declare_ptp(&mut m, pt2, 2).unwrap();
         ksm.declare_ptp(&mut m, pt1, 1).unwrap();
-        ksm.update_pte(&mut m, pt3, pt_index(0x40_0000, 3), pte::make(pt2, pte::P | pte::W | pte::U))
-            .unwrap();
-        ksm.update_pte(&mut m, pt2, pt_index(0x40_0000, 2), pte::make(pt1, pte::P | pte::W | pte::U))
-            .unwrap();
+        ksm.update_pte(
+            &mut m,
+            pt3,
+            pt_index(0x40_0000, 3),
+            pte::make(pt2, pte::P | pte::W | pte::U),
+        )
+        .unwrap();
+        ksm.update_pte(
+            &mut m,
+            pt2,
+            pt_index(0x40_0000, 2),
+            pte::make(pt1, pte::P | pte::W | pte::U),
+        )
+        .unwrap();
         ksm.update_pte(
             &mut m,
             pt1,
@@ -564,7 +615,10 @@ mod tests {
         let err = ksm
             .update_pte(&mut m, root, 0, pte::make(rogue, pte::P | pte::W | pte::U))
             .unwrap_err();
-        assert_eq!(err, KsmError::BadPte("non-leaf target is not a declared PTP"));
+        assert_eq!(
+            err,
+            KsmError::BadPte("non-leaf target is not a declared PTP")
+        );
     }
 
     #[test]
@@ -575,7 +629,12 @@ mod tests {
         let victim_ptp = ga.alloc().unwrap();
         ksm.declare_ptp(&mut m, victim_ptp, 1).unwrap();
         let err = ksm
-            .update_pte(&mut m, pt1, 0, pte::make(victim_ptp, pte::P | pte::W | pte::U | pte::NX))
+            .update_pte(
+                &mut m,
+                pt1,
+                0,
+                pte::make(victim_ptp, pte::P | pte::W | pte::U | pte::NX),
+            )
             .unwrap_err();
         assert_eq!(err, KsmError::BadPte("leaf maps a declared PTP"));
     }
@@ -587,17 +646,24 @@ mod tests {
         ksm.declare_ptp(&mut m, pt1, 1).unwrap();
         let data = ga.alloc().unwrap();
         // U=0, NX=0: would let the guest forge wrpkrs gates.
-        let err = ksm.update_pte(&mut m, pt1, 0, pte::make(data, pte::P | pte::W)).unwrap_err();
+        let err = ksm
+            .update_pte(&mut m, pt1, 0, pte::make(data, pte::P | pte::W))
+            .unwrap_err();
         assert_eq!(err, KsmError::BadPte("new kernel-executable mapping"));
         // User-executable or kernel-NX are fine.
-        ksm.update_pte(&mut m, pt1, 0, pte::make(data, pte::P | pte::U)).unwrap();
-        ksm.update_pte(&mut m, pt1, 1, pte::make(data, pte::P | pte::NX)).unwrap();
+        ksm.update_pte(&mut m, pt1, 0, pte::make(data, pte::P | pte::U))
+            .unwrap();
+        ksm.update_pte(&mut m, pt1, 1, pte::make(data, pte::P | pte::NX))
+            .unwrap();
     }
 
     #[test]
     fn reject_outside_segment() {
         let (mut m, mut ksm, _ga) = setup();
-        assert_eq!(ksm.declare_ptp(&mut m, 0x1000, 4), Err(KsmError::OutsideSegment));
+        assert_eq!(
+            ksm.declare_ptp(&mut m, 0x1000, 4),
+            Err(KsmError::OutsideSegment)
+        );
         let (mut m2, mut ksm2, mut ga2) = setup();
         let pt1 = ga2.alloc().unwrap();
         ksm2.declare_ptp(&mut m2, pt1, 1).unwrap();
@@ -617,7 +683,8 @@ mod tests {
         let pt1 = ga.alloc().unwrap();
         ksm.declare_ptp(&mut m, pt1, 1).unwrap();
         let data = ga.alloc().unwrap();
-        ksm.update_pte(&mut m, pt1, 0, pte::make(data, pte::P | pte::U)).unwrap();
+        ksm.update_pte(&mut m, pt1, 0, pte::make(data, pte::P | pte::U))
+            .unwrap();
         assert_eq!(
             ksm.declare_ptp(&mut m, data, 1),
             Err(KsmError::BadPageState("page in use"))
@@ -668,7 +735,8 @@ mod tests {
         ksm.declare_ptp(&mut m, root, 4).unwrap();
         let pt3 = ga.alloc().unwrap();
         ksm.declare_ptp(&mut m, pt3, 3).unwrap();
-        ksm.update_pte(&mut m, root, 5, pte::make(pt3, pte::P | pte::W | pte::U)).unwrap();
+        ksm.update_pte(&mut m, root, 5, pte::make(pt3, pte::P | pte::W | pte::U))
+            .unwrap();
         // Hardware sets A on the copy during a walk; simulate that.
         let copy = ksm.root_copy(root, 1).unwrap();
         let v = m.mem.read_u64(copy + 8 * 5);
@@ -687,7 +755,12 @@ mod tests {
         m.cpu.pkrs = pkrs_guest();
         let err = m
             .cpu
-            .exec(&mut m.mem, sim_hw::Instr::WriteCr0 { value: m.cpu.cr0 | CR0_TS })
+            .exec(
+                &mut m.mem,
+                sim_hw::Instr::WriteCr0 {
+                    value: m.cpu.cr0 | CR0_TS,
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, sim_hw::Fault::BlockedPrivileged { .. }));
         // ...but the KSM toggles TS on its behalf (lazy FPU, Table 3).
@@ -703,13 +776,25 @@ mod tests {
         let (mut m, mut ksm, mut ga) = setup();
         let p = ga.alloc().unwrap();
         let va = ksm.physmap_va(p);
-        let key_before = pte::pkey(PageTables::walk(&mut m.mem, ksm.template_root(), va).unwrap().leaf);
+        let key_before = pte::pkey(
+            PageTables::walk(&mut m.mem, ksm.template_root(), va)
+                .unwrap()
+                .leaf,
+        );
         assert_eq!(key_before, 0);
         ksm.declare_ptp(&mut m, p, 1).unwrap();
-        let key_decl = pte::pkey(PageTables::walk(&mut m.mem, ksm.template_root(), va).unwrap().leaf);
+        let key_decl = pte::pkey(
+            PageTables::walk(&mut m.mem, ksm.template_root(), va)
+                .unwrap()
+                .leaf,
+        );
         assert_eq!(key_decl, KEY_PTP);
         ksm.undeclare_ptp(&mut m, p).unwrap();
-        let key_after = pte::pkey(PageTables::walk(&mut m.mem, ksm.template_root(), va).unwrap().leaf);
+        let key_after = pte::pkey(
+            PageTables::walk(&mut m.mem, ksm.template_root(), va)
+                .unwrap()
+                .leaf,
+        );
         assert_eq!(key_after, 0);
     }
 }

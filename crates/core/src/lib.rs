@@ -35,7 +35,7 @@ mod policy_tests {
     //! Table 3 conformance: the full blocked/allowed matrix.
 
     use sim_hw::instr::InvpcidMode;
-    use sim_hw::{GuestPolicy, IretFrame, Instr};
+    use sim_hw::{GuestPolicy, Instr, IretFrame};
 
     #[test]
     fn table3_full_matrix() {
@@ -47,30 +47,58 @@ mod policy_tests {
             (Instr::Ltr { selector: 0 }, Blocked),
             // MSRs: timer/IPI writes become hypercalls.
             (Instr::Rdmsr { msr: 0x10 }, Blocked),
-            (Instr::Wrmsr { msr: 0x10, value: 0 }, Blocked),
+            (
+                Instr::Wrmsr {
+                    msr: 0x10,
+                    value: 0,
+                },
+                Blocked,
+            ),
             // Control registers.
             (Instr::ReadCr { cr: 0 }, Allowed),
             (Instr::ReadCr { cr: 4 }, Allowed),
             (Instr::ReadCr { cr: 3 }, Blocked),
             (Instr::WriteCr0 { value: 0 }, Blocked),
             (Instr::WriteCr4 { value: 0 }, Blocked),
-            (Instr::WriteCr3 { value: 0, preserve_tlb: false }, Blocked),
+            (
+                Instr::WriteCr3 {
+                    value: 0,
+                    preserve_tlb: false,
+                },
+                Blocked,
+            ),
             (Instr::Clac, Allowed),
             (Instr::Stac, Allowed),
             // TLB state.
             (Instr::Invlpg { va: 0 }, Allowed),
-            (Instr::Invpcid { mode: InvpcidMode::AllContexts }, Blocked),
+            (
+                Instr::Invpcid {
+                    mode: InvpcidMode::AllContexts,
+                },
+                Blocked,
+            ),
             // Syscall/exception.
             (Instr::Swapgs, Allowed),
             (Instr::Sysret { restore_if: true }, Allowed),
-            (Instr::Iret { frame: IretFrame::default() }, Blocked),
+            (
+                Instr::Iret {
+                    frame: IretFrame::default(),
+                },
+                Blocked,
+            ),
             // Other privileged instructions.
             (Instr::Hlt, Allowed),
             (Instr::Sti, Blocked),
             (Instr::Cli, Blocked),
             (Instr::Popf { if_flag: true }, Blocked),
             (Instr::InPort { port: 0x60 }, Blocked),
-            (Instr::OutPort { port: 0x60, value: 0 }, Blocked),
+            (
+                Instr::OutPort {
+                    port: 0x60,
+                    value: 0,
+                },
+                Blocked,
+            ),
             (Instr::Smsw, Blocked),
             // PKRS register: the gates are made of it.
             (Instr::Wrpkrs { value: 0 }, Allowed),

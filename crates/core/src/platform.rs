@@ -64,13 +64,20 @@ impl Default for CkiConfig {
     }
 }
 
-/// CKI platform statistics.
+/// CKI platform statistics — a view over the machine's metrics registry
+/// (see [`CkiPlatform::stats`]).
 #[derive(Debug, Default, Clone)]
 pub struct CkiStats {
     /// Hypercalls to the host kernel.
     pub hypercalls: u64,
     /// Gate aborts observed (attacks caught).
     pub gate_aborts: u64,
+}
+
+/// Dense registry ids for the CKI hot-path counters.
+struct CkiCounterIds {
+    hypercalls: obs::CounterId,
+    gate_aborts: obs::CounterId,
 }
 
 /// The CKI platform.
@@ -90,8 +97,7 @@ pub struct CkiPlatform {
     /// Whether any guest root of *this* container has been loaded yet;
     /// before that, KSM calls run on the container's template space.
     active: bool,
-    /// Statistics.
-    pub stats: CkiStats,
+    ids: CkiCounterIds,
 }
 
 impl CkiPlatform {
@@ -102,8 +108,14 @@ impl CkiPlatform {
     /// Panics if the machine lacks the CKI hardware extensions or memory.
     pub fn new(m: &mut Machine, config: CkiConfig) -> Self {
         let frames = config.seg_bytes / PAGE_SIZE;
-        let base = m.frames.alloc_contiguous(frames).expect("delegated segment");
-        let seg = Segment { start: base, end: base + config.seg_bytes };
+        let base = m
+            .frames
+            .alloc_contiguous(frames)
+            .expect("delegated segment");
+        let seg = Segment {
+            start: base,
+            end: base + config.seg_bytes,
+        };
         Self::new_with_segment(m, config, seg)
     }
 
@@ -123,6 +135,13 @@ impl CkiPlatform {
         let ksm = Ksm::new(m, seg, config.vcpus, config.pcid);
         let model = m.cpu.clock.model().clone();
         let exits = ExitCosts::cki(&model);
+        let ids = CkiCounterIds {
+            hypercalls: m.cpu.metrics.counter_labeled("cki.hypercalls", Some("cki")),
+            gate_aborts: m
+                .cpu
+                .metrics
+                .counter_labeled("cki.gate_aborts", Some("cki")),
+        };
         Self {
             config,
             ksm,
@@ -132,7 +151,7 @@ impl CkiPlatform {
             block: BlockBackend::new(exits),
             cur_vcpu: 0,
             active: false,
-            stats: CkiStats::default(),
+            ids,
         }
     }
 
@@ -145,6 +164,14 @@ impl CkiPlatform {
     /// Switches the current vCPU (used by multi-vCPU harnesses).
     pub fn set_vcpu(&mut self, vcpu: u32) {
         self.cur_vcpu = vcpu % self.config.vcpus;
+    }
+
+    /// Reconstructs the [`CkiStats`] view from the machine's registry.
+    pub fn stats(&self, m: &Machine) -> CkiStats {
+        CkiStats {
+            hypercalls: m.cpu.metrics.get(self.ids.hypercalls),
+            gate_aborts: m.cpu.metrics.get(self.ids.gate_aborts),
+        }
     }
 
     /// Invokes the KSM through the real PKS call gate.
@@ -174,11 +201,11 @@ impl CkiPlatform {
             Ok(Err(KsmError::BadRoot)) => Err(MapFault::Rejected("bad root")),
             Ok(Err(KsmError::NotAPtp)) => Err(MapFault::Rejected("not a PTP")),
             Err(GateAbort::Fault(f)) => {
-                self.stats.gate_aborts += 1;
+                m.cpu.metrics.inc(self.ids.gate_aborts);
                 Err(MapFault::Arch(f))
             }
             Err(_) => {
-                self.stats.gate_aborts += 1;
+                m.cpu.metrics.inc(self.ids.gate_aborts);
                 Err(MapFault::Rejected("gate abort"))
             }
         }
@@ -191,7 +218,12 @@ impl CkiPlatform {
 
     /// Walks to the leaf slot for `va`, allocating + declaring missing
     /// intermediate PTPs via KSM calls.
-    fn ensure_path(&mut self, m: &mut Machine, root: Phys, va: Virt) -> Result<(Phys, usize), MapFault> {
+    fn ensure_path(
+        &mut self,
+        m: &mut Machine,
+        root: Phys,
+        va: Virt,
+    ) -> Result<(Phys, usize), MapFault> {
         let mut table = root;
         for level in (2..=4u8).rev() {
             let idx = pt_index(va, level);
@@ -217,18 +249,18 @@ impl CkiPlatform {
         // extension restores PKRS from the frame — no exit switch needed.
         // Together with the PTE-update call this is the 77 ns "KSM calls"
         // component of Figure 10a.
-        if m.cpu
-            .exec(&mut m.mem, Instr::Wrpkrs { value: 0 })
-            .is_err()
-        {
-            self.stats.gate_aborts += 1;
+        let sp = m.cpu.span_enter("cki.iret");
+        if m.cpu.exec(&mut m.mem, Instr::Wrpkrs { value: 0 }).is_err() {
+            m.cpu.metrics.inc(self.ids.gate_aborts);
+            m.cpu.span_exit(sp);
             return;
         }
         let c = m.cpu.clock.model().pks_check;
         m.cpu.clock.charge(Tag::KsmCall, c);
         if m.cpu.exec(&mut m.mem, Instr::Iret { frame }).is_err() {
-            self.stats.gate_aborts += 1;
+            m.cpu.metrics.inc(self.ids.gate_aborts);
         }
+        m.cpu.span_exit(sp);
     }
 
     fn destroy_table(&mut self, m: &mut Machine, table: Phys, level: u8) {
@@ -328,7 +360,9 @@ impl Platform for CkiPlatform {
         })?;
         // Per-update validation work beyond the shared crossing.
         let v = m.cpu.clock.model().ksm_validate;
-        m.cpu.clock.charge(Tag::KsmCall, v * pages.len().saturating_sub(1) as u64);
+        m.cpu
+            .clock
+            .charge(Tag::KsmCall, v * pages.len().saturating_sub(1) as u64);
         Ok(())
     }
 
@@ -424,18 +458,24 @@ impl Platform for CkiPlatform {
             m.cpu.clock.charge(Tag::SyscallPath, model.cr3_switch);
         }
         if !self.config.opt3_direct_sysret {
-            m.cpu.clock.charge(Tag::SyscallPath, model.wrpkrs + model.pks_check);
+            m.cpu
+                .clock
+                .charge(Tag::SyscallPath, model.wrpkrs + model.pks_check);
         }
     }
 
     fn syscall_exit(&mut self, m: &mut Machine) {
         let model = m.cpu.clock.model().clone();
-        m.cpu.clock.charge(Tag::SyscallPath, model.swapgs + model.sysret);
+        m.cpu
+            .clock
+            .charge(Tag::SyscallPath, model.swapgs + model.sysret);
         if !self.config.opt2_no_pt_switch {
             m.cpu.clock.charge(Tag::SyscallPath, model.cr3_switch);
         }
         if !self.config.opt3_direct_sysret {
-            m.cpu.clock.charge(Tag::SyscallPath, model.wrpkrs + model.pks_check);
+            m.cpu
+                .clock
+                .charge(Tag::SyscallPath, model.wrpkrs + model.pks_check);
         }
         m.cpu.mode = sim_hw::Mode::User;
         m.cpu.rflags_if = true;
@@ -474,7 +514,11 @@ impl Platform for CkiPlatform {
         );
         // Single-stage translation: no EPT, no shadow sync. The walk runs
         // on the per-vCPU copy already in CR3.
-        let access = if write { sim_hw::Access::Write } else { sim_hw::Access::Read };
+        let access = if write {
+            sim_hw::Access::Write
+        } else {
+            sim_hw::Access::Read
+        };
         let prev = m.cpu.mode;
         m.cpu.mode = sim_hw::Mode::User;
         let Machine { cpu, mem, .. } = m;
@@ -495,20 +539,20 @@ impl Platform for CkiPlatform {
                     m.cpu.clock.charge(Tag::Sched, 300); // host scheduler tick
                 });
                 if r.is_err() {
-                    self.stats.gate_aborts += 1;
+                    m.cpu.metrics.inc(self.ids.gate_aborts);
                 }
             }
             Err(_) => {
                 // Unrecoverable delivery failure would reset the vCPU; the
                 // host charges the kill path.
-                self.stats.gate_aborts += 1;
+                m.cpu.metrics.inc(self.ids.gate_aborts);
                 m.cpu.clock.charge(Tag::Sched, 1000);
             }
         }
     }
 
     fn hypercall(&mut self, m: &mut Machine, call: Hypercall) -> u64 {
-        self.stats.hypercalls += 1;
+        m.cpu.metrics.inc(self.ids.hypercalls);
         // Hypercalls originate in the guest kernel: enter kernel context if
         // the caller (e.g. a driver path invoked from an app-level helper)
         // has not already.
@@ -546,7 +590,7 @@ impl Platform for CkiPlatform {
         let out = match r {
             Ok(v) => v,
             Err(_) => {
-                self.stats.gate_aborts += 1;
+                m.cpu.metrics.inc(self.ids.gate_aborts);
                 0
             }
         };
@@ -591,30 +635,53 @@ mod tests {
         let mark = m.cpu.clock.mark();
         k.syscall(&mut m, Sys::Getpid).unwrap();
         let ns = m.cpu.clock.since_ns(mark);
-        assert!((80.0..110.0).contains(&ns), "CKI getpid = {ns} ns (Figure 10b: 90 ns)");
+        assert!(
+            (80.0..110.0).contains(&ns),
+            "CKI getpid = {ns} ns (Figure 10b: 90 ns)"
+        );
     }
 
     #[test]
     fn ablation_syscall_costs() {
-        let wo_opt3 = CkiConfig { opt3_direct_sysret: false, ..CkiConfig::default() };
+        let wo_opt3 = CkiConfig {
+            opt3_direct_sysret: false,
+            ..CkiConfig::default()
+        };
         let (mut k, mut m) = boot(wo_opt3);
         let mark = m.cpu.clock.mark();
         k.syscall(&mut m, Sys::Getpid).unwrap();
         let ns = m.cpu.clock.since_ns(mark);
-        assert!((135.0..175.0).contains(&ns), "CKI-wo-OPT3 getpid = {ns} ns (153 ns)");
+        assert!(
+            (135.0..175.0).contains(&ns),
+            "CKI-wo-OPT3 getpid = {ns} ns (153 ns)"
+        );
 
-        let wo_opt2 = CkiConfig { opt2_no_pt_switch: false, ..CkiConfig::default() };
+        let wo_opt2 = CkiConfig {
+            opt2_no_pt_switch: false,
+            ..CkiConfig::default()
+        };
         let (mut k, mut m) = boot(wo_opt2);
         let mark = m.cpu.clock.mark();
         k.syscall(&mut m, Sys::Getpid).unwrap();
         let ns = m.cpu.clock.since_ns(mark);
-        assert!((210.0..270.0).contains(&ns), "CKI-wo-OPT2 getpid = {ns} ns (238 ns)");
+        assert!(
+            (210.0..270.0).contains(&ns),
+            "CKI-wo-OPT2 getpid = {ns} ns (238 ns)"
+        );
     }
 
     #[test]
     fn cki_pgfault_near_native() {
         let (mut k, mut m) = boot(CkiConfig::default());
-        let base = k.syscall(&mut m, Sys::Mmap { len: 512 * PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 512 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         let mark = m.cpu.clock.mark();
         k.touch_range(&mut m, base, 512 * PAGE_SIZE, true).unwrap();
         let per = m.cpu.clock.since_ns(mark) / 512.0;
@@ -631,13 +698,19 @@ mod tests {
         let mark = m.cpu.clock.mark();
         k.platform.hypercall(&mut m, Hypercall::Nop);
         let ns = m.cpu.clock.since_ns(mark);
-        assert!((320.0..450.0).contains(&ns), "CKI hypercall = {ns} ns (§7.1: 390 ns)");
+        assert!(
+            (320.0..450.0).contains(&ns),
+            "CKI hypercall = {ns} ns (§7.1: 390 ns)"
+        );
     }
 
     #[test]
     fn nested_is_identical() {
         let (mut k_bm, mut m_bm) = boot(CkiConfig::default());
-        let (mut k_nst, mut m_nst) = boot(CkiConfig { nested: true, ..CkiConfig::default() });
+        let (mut k_nst, mut m_nst) = boot(CkiConfig {
+            nested: true,
+            ..CkiConfig::default()
+        });
         let mark = m_bm.cpu.clock.mark();
         k_bm.platform.hypercall(&mut m_bm, Hypercall::Nop);
         let bm = m_bm.cpu.clock.since_ns(mark);
@@ -653,15 +726,32 @@ mod tests {
             gate_sidechannel_mitigation: true,
             ..CkiConfig::default()
         });
-        let base = k.syscall(&mut m, Sys::Mmap { len: 64 * PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 64 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         let mark = m.cpu.clock.mark();
         k.touch_range(&mut m, base, 64 * PAGE_SIZE, true).unwrap();
         let per_mitigated = m.cpu.clock.since_ns(mark) / 64.0;
 
         let (mut k2, mut m2) = boot(CkiConfig::default());
-        let base2 = k2.syscall(&mut m2, Sys::Mmap { len: 64 * PAGE_SIZE, write: true }).unwrap();
+        let base2 = k2
+            .syscall(
+                &mut m2,
+                Sys::Mmap {
+                    len: 64 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         let mark2 = m2.cpu.clock.mark();
-        k2.touch_range(&mut m2, base2, 64 * PAGE_SIZE, true).unwrap();
+        k2.touch_range(&mut m2, base2, 64 * PAGE_SIZE, true)
+            .unwrap();
         let per_clean = m2.cpu.clock.since_ns(mark2) / 64.0;
         assert!(
             per_mitigated > per_clean + 200.0,
@@ -672,7 +762,15 @@ mod tests {
     #[test]
     fn fork_and_cow_work_under_ksm() {
         let (mut k, mut m) = boot(CkiConfig::default());
-        let base = k.syscall(&mut m, Sys::Mmap { len: 8 * PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 8 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         k.touch_range(&mut m, base, 8 * PAGE_SIZE, true).unwrap();
         let child = k.syscall(&mut m, Sys::Fork).unwrap() as u32;
         k.touch(&mut m, base, true).unwrap(); // COW break via KSM calls
@@ -682,7 +780,7 @@ mod tests {
         k.context_switch(&mut m, 1).unwrap();
         k.syscall(&mut m, Sys::Wait).unwrap();
         assert_eq!(k.nprocs(), 1);
-        assert_eq!(k.stats.cow_breaks, 1);
+        assert_eq!(k.stats().cow_breaks, 1);
     }
 
     #[test]
@@ -690,21 +788,37 @@ mod tests {
         let (mut k, mut m) = boot(CkiConfig::default());
         // Force a mapping so a PTP exists; then simulate the guest kernel
         // writing to that PTP's physmap alias with PKRS_GUEST.
-        let base = k.syscall(&mut m, Sys::Mmap { len: PAGE_SIZE, write: true }).unwrap();
-        k.touch(&mut m, base, true).unwrap();
-        let p = k
-            .platform
-            .as_any()
-            .downcast_ref::<CkiPlatform>()
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: PAGE_SIZE,
+                    write: true,
+                },
+            )
             .unwrap();
+        k.touch(&mut m, base, true).unwrap();
+        let p = k.platform.as_any().downcast_ref::<CkiPlatform>().unwrap();
         let root = k.proc(1).aspace.root;
         let va = p.ksm.physmap_va(root);
         m.cpu.mode = sim_hw::Mode::Kernel;
         m.cpu.pkrs = pkrs_guest();
         // Reads are fine (write-disable only)...
-        m.cpu.mem_access(&mut m.mem, va, sim_hw::Access::Read, None).unwrap();
+        m.cpu
+            .mem_access(&mut m.mem, va, sim_hw::Access::Read, None)
+            .unwrap();
         // ...writes die with a protection-key fault.
-        let err = m.cpu.mem_access(&mut m.mem, va, sim_hw::Access::Write, None).unwrap_err();
-        assert!(matches!(err, Fault::PkViolation { key: crate::ksm::KEY_PTP, write: true, .. }));
+        let err = m
+            .cpu
+            .mem_access(&mut m.mem, va, sim_hw::Access::Write, None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::PkViolation {
+                key: crate::ksm::KEY_PTP,
+                write: true,
+                ..
+            }
+        ));
     }
 }

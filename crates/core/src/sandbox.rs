@@ -103,7 +103,12 @@ impl DriverSandbox {
             &mut || frames.alloc(),
         )
         .expect("map kernel-private page");
-        Self { name, state_va, kernel_priv_va, stats: SandboxStats::default() }
+        Self {
+            name,
+            state_va,
+            kernel_priv_va,
+            stats: SandboxStats::default(),
+        }
     }
 
     /// Invokes the driver through the PKS gate. The driver body runs with
@@ -119,7 +124,12 @@ impl DriverSandbox {
         // switch_pks, reused verbatim for driver gates).
         let model = m.cpu.clock.model().clone();
         m.cpu
-            .exec(&mut m.mem, Instr::Wrpkrs { value: pkrs_driver() })
+            .exec(
+                &mut m.mem,
+                Instr::Wrpkrs {
+                    value: pkrs_driver(),
+                },
+            )
             .expect("gate entry");
         m.cpu.clock.charge(Tag::Other, model.pks_check);
 
@@ -127,7 +137,12 @@ impl DriverSandbox {
 
         // Exit switch back to the kernel view.
         m.cpu
-            .exec(&mut m.mem, Instr::Wrpkrs { value: pkrs_kernel() })
+            .exec(
+                &mut m.mem,
+                Instr::Wrpkrs {
+                    value: pkrs_kernel(),
+                },
+            )
             .expect("gate exit");
         m.cpu.clock.charge(Tag::Other, model.pks_check);
 
@@ -166,7 +181,8 @@ mod tests {
         let mark = m.cpu.clock.mark();
         let out = sb.invoke(&mut m, |m| {
             // Touch its own state: fine.
-            m.cpu.mem_access(&mut m.mem, STATE_VA, Access::Write, None)?;
+            m.cpu
+                .mem_access(&mut m.mem, STATE_VA, Access::Write, None)?;
             Ok(42)
         });
         assert_eq!(out, DriverOutcome::Ok(42));
@@ -184,7 +200,13 @@ mod tests {
             Ok(0)
         });
         assert!(
-            matches!(out, DriverOutcome::Contained(Fault::PkViolation { key: KEY_KERNEL_PRIV, .. })),
+            matches!(
+                out,
+                DriverOutcome::Contained(Fault::PkViolation {
+                    key: KEY_KERNEL_PRIV,
+                    ..
+                })
+            ),
             "{out:?}"
         );
         assert_eq!(sb.stats.contained, 1);
@@ -195,15 +217,30 @@ mod tests {
         let (mut m, mut sb, _root) = setup();
         for (instr, name) in [
             (Instr::Cli, "cli"),
-            (Instr::Wrmsr { msr: 0x10, value: 0 }, "wrmsr"),
-            (Instr::OutPort { port: 0x64, value: 0xfe }, "out"),
+            (
+                Instr::Wrmsr {
+                    msr: 0x10,
+                    value: 0,
+                },
+                "wrmsr",
+            ),
+            (
+                Instr::OutPort {
+                    port: 0x64,
+                    value: 0xfe,
+                },
+                "out",
+            ),
         ] {
             let out = sb.invoke(&mut m, |m| {
                 m.cpu.exec(&mut m.mem, instr)?;
                 Ok(0)
             });
             assert!(
-                matches!(out, DriverOutcome::Contained(Fault::BlockedPrivileged { .. })),
+                matches!(
+                    out,
+                    DriverOutcome::Contained(Fault::BlockedPrivileged { .. })
+                ),
                 "{name}: {out:?}"
             );
         }
@@ -213,8 +250,20 @@ mod tests {
     fn kernel_cannot_scribble_on_driver_state() {
         let (mut m, _sb, _root) = setup();
         // Kernel view: driver state is read-only.
-        m.cpu.mem_access(&mut m.mem, STATE_VA, Access::Read, None).expect("read ok");
-        let err = m.cpu.mem_access(&mut m.mem, STATE_VA, Access::Write, None).unwrap_err();
-        assert!(matches!(err, Fault::PkViolation { key: KEY_DRIVER, write: true, .. }));
+        m.cpu
+            .mem_access(&mut m.mem, STATE_VA, Access::Read, None)
+            .expect("read ok");
+        let err = m
+            .cpu
+            .mem_access(&mut m.mem, STATE_VA, Access::Write, None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::PkViolation {
+                key: KEY_DRIVER,
+                write: true,
+                ..
+            }
+        ));
     }
 }

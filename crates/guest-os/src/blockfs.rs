@@ -86,7 +86,9 @@ impl BlockFs {
 
     /// File size in bytes.
     pub fn size(&self, path: &str) -> Option<u64> {
-        self.files.get(path).map(|b| b.len() as u64 * BLOCK_SIZE as u64)
+        self.files
+            .get(path)
+            .map(|b| b.len() as u64 * BLOCK_SIZE as u64)
     }
 
     fn alloc_block(&mut self) -> Result<u32, Errno> {
@@ -129,16 +131,24 @@ impl BlockFs {
             self.cache.remove(&victim.0);
             if victim.1 {
                 self.stats.dev_writes += 1;
-                env.kernel
-                    .platform
-                    .hypercall(env.machine, Hypercall::BlockIo { bytes: BLOCK_SIZE, write: true });
+                env.kernel.platform.hypercall(
+                    env.machine,
+                    Hypercall::BlockIo {
+                        bytes: BLOCK_SIZE,
+                        write: true,
+                    },
+                );
             }
         }
         if read_from_dev {
             self.stats.dev_reads += 1;
-            env.kernel
-                .platform
-                .hypercall(env.machine, Hypercall::BlockIo { bytes: BLOCK_SIZE, write: false });
+            env.kernel.platform.hypercall(
+                env.machine,
+                Hypercall::BlockIo {
+                    bytes: BLOCK_SIZE,
+                    write: false,
+                },
+            );
         }
         let tick = self.tick;
         self.cache.insert(block, CacheEntry { dirty, stamp: tick });
@@ -166,8 +176,8 @@ impl BlockFs {
         let blocks: Vec<u32> = self.files.get(path).expect("file")[first..end_block].to_vec();
         for (i, b) in blocks.into_iter().enumerate() {
             // A partial first/last block must be read before modification.
-            let partial = (i == 0 && offset % BLOCK_SIZE as u64 != 0)
-                || ((offset + len as u64) % BLOCK_SIZE as u64 != 0);
+            let partial = (i == 0 && !offset.is_multiple_of(BLOCK_SIZE as u64))
+                || !(offset + len as u64).is_multiple_of(BLOCK_SIZE as u64);
             self.touch_block(env, b, true, partial)?;
         }
         Ok(())
@@ -207,9 +217,13 @@ impl BlockFs {
             .collect();
         for b in dirty {
             self.stats.dev_writes += 1;
-            env.kernel
-                .platform
-                .hypercall(env.machine, Hypercall::BlockIo { bytes: BLOCK_SIZE, write: true });
+            env.kernel.platform.hypercall(
+                env.machine,
+                Hypercall::BlockIo {
+                    bytes: BLOCK_SIZE,
+                    write: true,
+                },
+            );
             if let Some(e) = self.cache.get_mut(&b) {
                 e.dirty = false;
             }
@@ -223,7 +237,10 @@ impl std::fmt::Debug for BlockFs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BlockFs")
             .field("files", &self.files.len())
-            .field("used_blocks", &(self.next_block - 1 - self.free.len() as u32))
+            .field(
+                "used_blocks",
+                &(self.next_block - 1 - self.free.len() as u32),
+            )
             .field("stats", &self.stats)
             .finish()
     }

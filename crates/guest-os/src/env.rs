@@ -76,7 +76,10 @@ mod tests {
         env.touch_range(base, 8 * 4096, true).unwrap();
         let t0 = env.now_ns();
         env.compute(2400);
-        assert!((env.now_ns() - t0 - 1000.0).abs() < 1.0, "2400 cycles = 1 µs");
+        assert!(
+            (env.now_ns() - t0 - 1000.0).abs() < 1.0,
+            "2400 cycles = 1 µs"
+        );
         assert_eq!(env.sys(Sys::Getpid).unwrap(), 1);
     }
 }

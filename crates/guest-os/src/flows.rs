@@ -33,7 +33,13 @@ impl FlowResult {
 /// lmbench `lat_ctx 2p/0k`: two processes ping-pong via a pair of pipes;
 /// each hop is a syscall pair plus a full context switch.
 pub fn ctxsw_2p(k: &mut Kernel, m: &mut Machine, iters: u64) -> Result<FlowResult, Errno> {
-    let buf = k.syscall(m, Sys::Mmap { len: 4096, write: true })?;
+    let buf = k.syscall(
+        m,
+        Sys::Mmap {
+            len: 4096,
+            write: true,
+        },
+    )?;
     k.touch(m, buf, true)?;
     let fds_ab = k.syscall(m, Sys::PipeCreate)?;
     let fds_ba = k.syscall(m, Sys::PipeCreate)?;
@@ -45,19 +51,57 @@ pub fn ctxsw_2p(k: &mut Kernel, m: &mut Machine, iters: u64) -> Result<FlowResul
     let start = m.cpu.clock.mark();
     for _ in 0..iters {
         // A writes a token, blocks reading the return pipe; switch to B.
-        k.syscall(m, Sys::Write { fd: w_ab, buf, len: 1 })?;
-        let r = k.syscall(m, Sys::Read { fd: r_ba, buf, len: 1 });
+        k.syscall(
+            m,
+            Sys::Write {
+                fd: w_ab,
+                buf,
+                len: 1,
+            },
+        )?;
+        let r = k.syscall(
+            m,
+            Sys::Read {
+                fd: r_ba,
+                buf,
+                len: 1,
+            },
+        );
         debug_assert_eq!(r, Err(Errno::WouldBlock));
         k.context_switch(m, b)?;
         // B reads the token, writes back, blocks; switch to A.
-        k.syscall(m, Sys::Read { fd: r_ab, buf, len: 1 })?;
-        k.syscall(m, Sys::Write { fd: w_ba, buf, len: 1 })?;
+        k.syscall(
+            m,
+            Sys::Read {
+                fd: r_ab,
+                buf,
+                len: 1,
+            },
+        )?;
+        k.syscall(
+            m,
+            Sys::Write {
+                fd: w_ba,
+                buf,
+                len: 1,
+            },
+        )?;
         k.context_switch(m, a)?;
-        k.syscall(m, Sys::Read { fd: r_ba, buf, len: 1 })?;
+        k.syscall(
+            m,
+            Sys::Read {
+                fd: r_ba,
+                buf,
+                len: 1,
+            },
+        )?;
     }
     let total_ns = m.cpu.clock.since_ns(start);
     // One iteration contains two context switches; lmbench reports one.
-    Ok(FlowResult { iters: iters * 2, total_ns })
+    Ok(FlowResult {
+        iters: iters * 2,
+        total_ns,
+    })
 }
 
 /// lmbench `lat_pipe` / `lat_unix`: round-trip latency of a 1-byte token
@@ -69,9 +113,19 @@ pub fn pingpong(
     unix_socket: bool,
     payload: usize,
 ) -> Result<FlowResult, Errno> {
-    let buf = k.syscall(m, Sys::Mmap { len: 64 * 1024, write: true })?;
+    let buf = k.syscall(
+        m,
+        Sys::Mmap {
+            len: 64 * 1024,
+            write: true,
+        },
+    )?;
     k.touch_range(m, buf, payload.max(1) as u64, true)?;
-    let mk = if unix_socket { Sys::SocketPair } else { Sys::PipeCreate };
+    let mk = if unix_socket {
+        Sys::SocketPair
+    } else {
+        Sys::PipeCreate
+    };
     let fds_ab = k.syscall(m, mk)?;
     let fds_ba = k.syscall(m, mk)?;
     let (r_ab, w_ab) = ((fds_ab >> 32) as Fd, (fds_ab & 0xffff_ffff) as Fd);
@@ -81,12 +135,40 @@ pub fn pingpong(
 
     let start = m.cpu.clock.mark();
     for _ in 0..iters {
-        k.syscall(m, Sys::Write { fd: w_ab, buf, len: payload })?;
+        k.syscall(
+            m,
+            Sys::Write {
+                fd: w_ab,
+                buf,
+                len: payload,
+            },
+        )?;
         k.context_switch(m, b)?;
-        k.syscall(m, Sys::Read { fd: r_ab, buf, len: payload })?;
-        k.syscall(m, Sys::Write { fd: w_ba, buf, len: payload })?;
+        k.syscall(
+            m,
+            Sys::Read {
+                fd: r_ab,
+                buf,
+                len: payload,
+            },
+        )?;
+        k.syscall(
+            m,
+            Sys::Write {
+                fd: w_ba,
+                buf,
+                len: payload,
+            },
+        )?;
         k.context_switch(m, a)?;
-        k.syscall(m, Sys::Read { fd: r_ba, buf, len: payload })?;
+        k.syscall(
+            m,
+            Sys::Read {
+                fd: r_ba,
+                buf,
+                len: payload,
+            },
+        )?;
     }
     let total_ns = m.cpu.clock.since_ns(start);
     Ok(FlowResult { iters, total_ns })
@@ -96,7 +178,13 @@ pub fn pingpong(
 pub fn fork_exit(k: &mut Kernel, m: &mut Machine, iters: u64) -> Result<FlowResult, Errno> {
     let parent = k.current;
     // Give the parent a working set so fork has page tables to copy.
-    let base = k.syscall(m, Sys::Mmap { len: 256 * 4096, write: true })?;
+    let base = k.syscall(
+        m,
+        Sys::Mmap {
+            len: 256 * 4096,
+            write: true,
+        },
+    )?;
     k.touch_range(m, base, 256 * 4096, true)?;
 
     let start = m.cpu.clock.mark();
@@ -114,7 +202,13 @@ pub fn fork_exit(k: &mut Kernel, m: &mut Machine, iters: u64) -> Result<FlowResu
 /// lmbench `lat_proc exec`: fork + execve + exit + wait.
 pub fn fork_execve(k: &mut Kernel, m: &mut Machine, iters: u64) -> Result<FlowResult, Errno> {
     let parent = k.current;
-    let base = k.syscall(m, Sys::Mmap { len: 256 * 4096, write: true })?;
+    let base = k.syscall(
+        m,
+        Sys::Mmap {
+            len: 256 * 4096,
+            write: true,
+        },
+    )?;
     k.touch_range(m, base, 256 * 4096, true)?;
 
     let start = m.cpu.clock.mark();
@@ -148,8 +242,12 @@ mod tests {
         let r = ctxsw_2p(&mut k, &mut m, 100).unwrap();
         assert_eq!(r.iters, 200);
         // Native 2p/0k context switch is on the order of a microsecond.
-        assert!((300.0..4000.0).contains(&r.ns_per_iter()), "{}", r.ns_per_iter());
-        assert!(k.stats.ctx_switches >= 200);
+        assert!(
+            (300.0..4000.0).contains(&r.ns_per_iter()),
+            "{}",
+            r.ns_per_iter()
+        );
+        assert!(k.stats().ctx_switches >= 200);
     }
 
     #[test]
@@ -170,7 +268,11 @@ mod tests {
     fn fork_flows_complete_and_cleanup() {
         let (mut k, mut m) = boot();
         let r = fork_exit(&mut k, &mut m, 10).unwrap();
-        assert!(r.ns_per_iter() > 10_000.0, "fork/exit is tens of µs: {}", r.ns_per_iter());
+        assert!(
+            r.ns_per_iter() > 10_000.0,
+            "fork/exit is tens of µs: {}",
+            r.ns_per_iter()
+        );
         assert_eq!(k.nprocs(), 1, "children reaped");
         let r2 = fork_execve(&mut k, &mut m, 10).unwrap();
         assert!(r2.ns_per_iter() > r.ns_per_iter(), "execve adds cost");

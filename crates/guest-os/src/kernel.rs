@@ -7,15 +7,15 @@
 
 use std::collections::HashMap;
 
+use obs::{CounterId, MetricsRegistry};
+
 use sim_hw::{Machine, Tag};
 use sim_mem::addr::{page_align_down, page_align_up};
 use sim_mem::{MapFlags, Phys, Virt, PAGE_SIZE};
 
 use crate::costs;
 use crate::platform::{Hypercall, Platform};
-use crate::process::{
-    layout, AddressSpace, Fd, FileDesc, Pid, Process, ProcState, Vma, VmaKind,
-};
+use crate::process::{layout, AddressSpace, Fd, FileDesc, Pid, ProcState, Process, Vma, VmaKind};
 use crate::syscall::{Errno, Sys, SysResult};
 use crate::vfs::TmpFs;
 
@@ -39,7 +39,9 @@ struct Socket {
     tx_pending: u32,
 }
 
-/// Aggregate kernel statistics.
+/// Aggregate kernel statistics — a *view* reconstructed from the kernel's
+/// [`MetricsRegistry`] (see [`Kernel::stats`]); the registry is the source
+/// of truth.
 #[derive(Debug, Default, Clone)]
 pub struct Stats {
     /// Total syscalls dispatched.
@@ -73,8 +75,19 @@ pub struct Kernel {
     timer: Option<(u64, u64)>,
     /// Timer ticks delivered.
     pub timer_ticks: u64,
-    /// Statistics.
-    pub stats: Stats,
+    /// Per-container metrics (kernels may share a machine, so OS-level
+    /// counters live here rather than on the CPU's registry).
+    pub metrics: MetricsRegistry,
+    ids: OsCounterIds,
+}
+
+/// Dense ids for the kernel's hot-path counters.
+struct OsCounterIds {
+    syscalls: CounterId,
+    pgfaults: CounterId,
+    cow_breaks: CounterId,
+    ctx_switches: CounterId,
+    forks: CounterId,
 }
 
 impl Kernel {
@@ -84,6 +97,14 @@ impl Kernel {
     ///
     /// Panics if the platform cannot allocate the first address space.
     pub fn boot(platform: Box<dyn Platform>, m: &mut Machine) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        let ids = OsCounterIds {
+            syscalls: metrics.counter("os.syscalls"),
+            pgfaults: metrics.counter("os.pgfaults"),
+            cow_breaks: metrics.counter("os.cow_breaks"),
+            ctx_switches: metrics.counter("os.ctx_switches"),
+            forks: metrics.counter("os.forks"),
+        };
         let mut k = Self {
             platform,
             procs: HashMap::new(),
@@ -95,7 +116,8 @@ impl Kernel {
             frame_refs: HashMap::new(),
             timer: None,
             timer_ticks: 0,
-            stats: Stats::default(),
+            metrics,
+            ids,
         };
         m.cpu.mode = sim_hw::Mode::Kernel;
         let pid = k.create_process(m, 0).expect("boot: init process");
@@ -111,6 +133,25 @@ impl Kernel {
         self.procs.len()
     }
 
+    /// Reconstructs the aggregate [`Stats`] view from the metrics registry.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::default();
+        for (name, label, value) in self.metrics.iter_counters() {
+            match (name, label) {
+                ("os.syscalls", None) => s.syscalls = value,
+                ("os.pgfaults", None) => s.pgfaults = value,
+                ("os.cow_breaks", None) => s.cow_breaks = value,
+                ("os.ctx_switches", None) => s.ctx_switches = value,
+                ("os.forks", None) => s.forks = value,
+                ("os.syscall", Some(l)) => {
+                    s.per_syscall.insert(l, value);
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
     /// Enables the preemption timer with the given quantum. Every quantum
     /// of simulated time, a timer interrupt is delivered through the
     /// platform's interrupt path (native IDT, VM exit, PVM redirection, or
@@ -121,7 +162,9 @@ impl Kernel {
     }
 
     fn maybe_timer_tick(&mut self, m: &mut Machine) {
-        let Some((quantum, next)) = self.timer else { return };
+        let Some((quantum, next)) = self.timer else {
+            return;
+        };
         if m.cpu.clock.cycles() < next {
             return;
         }
@@ -179,7 +222,13 @@ impl Kernel {
     }
 
     /// Touches every page in `[va, va + len)` (optionally writing).
-    pub fn touch_range(&mut self, m: &mut Machine, va: Virt, len: u64, write: bool) -> Result<(), Errno> {
+    pub fn touch_range(
+        &mut self,
+        m: &mut Machine,
+        va: Virt,
+        len: u64,
+        write: bool,
+    ) -> Result<(), Errno> {
         let mut page = page_align_down(va);
         let end = va + len;
         while page < end {
@@ -191,8 +240,11 @@ impl Kernel {
 
     /// The guest page-fault handler (demand paging + COW).
     pub fn handle_fault(&mut self, m: &mut Machine, va: Virt, write: bool) -> Result<(), Errno> {
-        self.stats.pgfaults += 1;
+        self.metrics.inc(self.ids.pgfaults);
+        let sp = m.cpu.span_enter("os.pgfault");
+        let trap = m.cpu.span_enter("os.trap");
         self.platform.fault_entry(m);
+        m.cpu.span_exit(trap);
         let vma_cost = m.cpu.clock.model().vma_lookup;
         m.cpu.clock.charge(Tag::Handler, vma_cost + costs::PF_SOFT);
 
@@ -221,11 +273,20 @@ impl Kernel {
             // Signal delivery path (SIGSEGV bookkeeping).
             m.cpu.clock.charge(Tag::Handler, 600);
         }
+        let iret = m.cpu.span_enter("os.iret");
         self.platform.fault_exit(m);
+        m.cpu.span_exit(iret);
+        m.cpu.span_exit(sp);
         result
     }
 
-    fn demand_map(&mut self, m: &mut Machine, root: Phys, page: Virt, vma: &Vma) -> Result<(), Errno> {
+    fn demand_map(
+        &mut self,
+        m: &mut Machine,
+        root: Phys,
+        page: Virt,
+        vma: &Vma,
+    ) -> Result<(), Errno> {
         let frame = self.platform.alloc_frame(m).ok_or(Errno::NoMem)?;
         let zero_cost = m.cpu.clock.model().zero_page;
         m.cpu.clock.charge(Tag::Handler, zero_cost);
@@ -233,17 +294,29 @@ impl Kernel {
             // Fill from the page cache.
             let file_off = offset + (page - vma.start);
             let n = self.vfs.read(inode, file_off, PAGE_SIZE as usize);
-            m.cpu.clock.charge(Tag::Handler, costs::PAGE_CACHE + costs::copy_cycles(n as u64));
+            m.cpu.clock.charge(
+                Tag::Handler,
+                costs::PAGE_CACHE + costs::copy_cycles(n as u64),
+            );
         }
         let flags = MapFlags::user_rw().with_write(vma.write);
         self.platform
             .map_page(m, root, page, frame, flags)
             .map_err(|_| Errno::NoMem)?;
         self.frame_refs.insert(frame, 1);
-        self.procs.get_mut(&self.current).expect("current proc").aspace.pages.insert(
-            page,
-            crate::process::PageInfo { pa: frame, cow: false, vma_write: vma.write },
-        );
+        self.procs
+            .get_mut(&self.current)
+            .expect("current proc")
+            .aspace
+            .pages
+            .insert(
+                page,
+                crate::process::PageInfo {
+                    pa: frame,
+                    cow: false,
+                    vma_write: vma.write,
+                },
+            );
         Ok(())
     }
 
@@ -255,7 +328,7 @@ impl Kernel {
         old_pa: Phys,
         vma_write: bool,
     ) -> Result<(), Errno> {
-        self.stats.cow_breaks += 1;
+        self.metrics.inc(self.ids.cow_breaks);
         let refs = self.frame_refs.get(&old_pa).copied().unwrap_or(1);
         if refs <= 1 {
             // Sole owner: just restore write permission.
@@ -276,10 +349,20 @@ impl Kernel {
         // Shared: copy to a fresh frame.
         let new_pa = self.platform.alloc_frame(m).ok_or(Errno::NoMem)?;
         let alloc_c = m.cpu.clock.model().frame_alloc;
-        m.cpu.clock.charge(Tag::Handler, alloc_c + costs::copy_cycles(PAGE_SIZE));
-        self.platform.unmap_page(m, root, page).map_err(|_| Errno::Fault)?;
+        m.cpu
+            .clock
+            .charge(Tag::Handler, alloc_c + costs::copy_cycles(PAGE_SIZE));
         self.platform
-            .map_page(m, root, page, new_pa, MapFlags::user_rw().with_write(vma_write))
+            .unmap_page(m, root, page)
+            .map_err(|_| Errno::Fault)?;
+        self.platform
+            .map_page(
+                m,
+                root,
+                page,
+                new_pa,
+                MapFlags::user_rw().with_write(vma_write),
+            )
             .map_err(|_| Errno::NoMem)?;
         *self.frame_refs.entry(old_pa).or_insert(1) -= 1;
         self.frame_refs.insert(new_pa, 1);
@@ -298,12 +381,20 @@ impl Kernel {
 
     /// Copies `len` bytes between kernel and a user buffer at `buf`,
     /// faulting pages in as needed and charging the copy.
-    fn copy_user(&mut self, m: &mut Machine, buf: Virt, len: usize, write_to_user: bool) -> Result<(), Errno> {
+    fn copy_user(
+        &mut self,
+        m: &mut Machine,
+        buf: Virt,
+        len: usize,
+        write_to_user: bool,
+    ) -> Result<(), Errno> {
         if len == 0 {
             return Ok(());
         }
         self.touch_range(m, buf, len as u64, write_to_user)?;
-        m.cpu.clock.charge(Tag::Compute, costs::copy_cycles(len as u64));
+        m.cpu
+            .clock
+            .charge(Tag::Compute, costs::copy_cycles(len as u64));
         Ok(())
     }
 
@@ -317,8 +408,11 @@ impl Kernel {
         if !self.procs.contains_key(&to) {
             return Err(Errno::Inval);
         }
-        self.stats.ctx_switches += 1;
-        m.cpu.clock.charge(Tag::Sched, costs::SCHED_PICK + costs::CTX_REGS);
+        self.metrics.inc(self.ids.ctx_switches);
+        let sp = m.cpu.span_enter("os.ctxsw");
+        m.cpu
+            .clock
+            .charge(Tag::Sched, costs::SCHED_PICK + costs::CTX_REGS);
         // Context switches run in kernel context (the scheduler is entered
         // from a syscall or a timer interrupt).
         let prev_mode = m.cpu.mode;
@@ -326,6 +420,7 @@ impl Kernel {
         let root = self.procs[&to].aspace.root;
         let r = self.platform.load_root(m, root).map_err(|_| Errno::Fault);
         m.cpu.mode = prev_mode;
+        m.cpu.span_exit(sp);
         r?;
         self.current = to;
         Ok(())
@@ -336,13 +431,16 @@ impl Kernel {
     /// Dispatches one syscall for the current process, charging the full
     /// platform entry/exit path.
     pub fn syscall(&mut self, m: &mut Machine, sys: Sys<'_>) -> SysResult {
-        self.stats.syscalls += 1;
-        *self.stats.per_syscall.entry(sys.name()).or_insert(0) += 1;
+        self.metrics.inc(self.ids.syscalls);
+        let per = self.metrics.counter_labeled("os.syscall", Some(sys.name()));
+        self.metrics.inc(per);
         self.maybe_timer_tick(m);
+        let sp = m.cpu.span_enter("os.syscall");
         self.platform.syscall_entry(m);
         m.cpu.clock.charge(Tag::Handler, costs::DISPATCH);
         let r = self.dispatch(m, sys);
         self.platform.syscall_exit(m);
+        m.cpu.span_exit(sp);
         r
     }
 
@@ -351,9 +449,23 @@ impl Kernel {
             Sys::Getpid => Ok(self.current as u64),
             Sys::Read { fd, buf, len } => self.sys_read(m, fd, buf, len, None),
             Sys::Write { fd, buf, len } => self.sys_write(m, fd, buf, len, None),
-            Sys::Pread { fd, buf, len, offset } => self.sys_read(m, fd, buf, len, Some(offset)),
-            Sys::Pwrite { fd, buf, len, offset } => self.sys_write(m, fd, buf, len, Some(offset)),
-            Sys::Open { path, create, trunc } => self.sys_open(m, path, create, trunc),
+            Sys::Pread {
+                fd,
+                buf,
+                len,
+                offset,
+            } => self.sys_read(m, fd, buf, len, Some(offset)),
+            Sys::Pwrite {
+                fd,
+                buf,
+                len,
+                offset,
+            } => self.sys_write(m, fd, buf, len, Some(offset)),
+            Sys::Open {
+                path,
+                create,
+                trunc,
+            } => self.sys_open(m, path, create, trunc),
             Sys::Close { fd } => self.sys_close(fd),
             Sys::Stat { path } => self.sys_stat(m, path),
             Sys::Fsync { fd } => self.sys_fsync(m, fd),
@@ -380,10 +492,21 @@ impl Kernel {
     }
 
     fn fd_of(&self, fd: Fd) -> Result<FileDesc, Errno> {
-        self.procs[&self.current].fds.get(&fd).copied().ok_or(Errno::BadF)
+        self.procs[&self.current]
+            .fds
+            .get(&fd)
+            .copied()
+            .ok_or(Errno::BadF)
     }
 
-    fn sys_read(&mut self, m: &mut Machine, fd: Fd, buf: Virt, len: usize, at: Option<u64>) -> SysResult {
+    fn sys_read(
+        &mut self,
+        m: &mut Machine,
+        fd: Fd,
+        buf: Virt,
+        len: usize,
+        at: Option<u64>,
+    ) -> SysResult {
         m.cpu.clock.charge(Tag::Handler, costs::FD_LOOKUP);
         match self.fd_of(fd)? {
             FileDesc::File { inode, offset } => {
@@ -392,8 +515,12 @@ impl Kernel {
                 let n = self.vfs.read(inode, off, len);
                 self.copy_user(m, buf, n, true)?;
                 if at.is_none() {
-                    if let Some(FileDesc::File { offset, .. }) =
-                        self.procs.get_mut(&self.current).expect("cur").fds.get_mut(&fd)
+                    if let Some(FileDesc::File { offset, .. }) = self
+                        .procs
+                        .get_mut(&self.current)
+                        .expect("cur")
+                        .fds
+                        .get_mut(&fd)
                     {
                         *offset += n as u64;
                     }
@@ -402,7 +529,11 @@ impl Kernel {
             }
             FileDesc::PipeRead { pipe } => {
                 let p = &mut self.pipes[pipe];
-                let op = if p.unix { costs::SOCK_OP } else { costs::PIPE_OP };
+                let op = if p.unix {
+                    costs::SOCK_OP
+                } else {
+                    costs::PIPE_OP
+                };
                 m.cpu.clock.charge(Tag::Handler, op);
                 if p.buffered == 0 {
                     return Err(Errno::WouldBlock);
@@ -417,7 +548,14 @@ impl Kernel {
         }
     }
 
-    fn sys_write(&mut self, m: &mut Machine, fd: Fd, buf: Virt, len: usize, at: Option<u64>) -> SysResult {
+    fn sys_write(
+        &mut self,
+        m: &mut Machine,
+        fd: Fd,
+        buf: Virt,
+        len: usize,
+        at: Option<u64>,
+    ) -> SysResult {
         m.cpu.clock.charge(Tag::Handler, costs::FD_LOOKUP);
         match self.fd_of(fd)? {
             FileDesc::File { inode, offset } => {
@@ -426,8 +564,12 @@ impl Kernel {
                 self.copy_user(m, buf, len, false)?;
                 let n = self.vfs.write(inode, off, len);
                 if at.is_none() {
-                    if let Some(FileDesc::File { offset, .. }) =
-                        self.procs.get_mut(&self.current).expect("cur").fds.get_mut(&fd)
+                    if let Some(FileDesc::File { offset, .. }) = self
+                        .procs
+                        .get_mut(&self.current)
+                        .expect("cur")
+                        .fds
+                        .get_mut(&fd)
                     {
                         *offset += n as u64;
                     }
@@ -436,7 +578,11 @@ impl Kernel {
             }
             FileDesc::PipeWrite { pipe } => {
                 let p = &mut self.pipes[pipe];
-                let op = if p.unix { costs::SOCK_OP } else { costs::PIPE_OP };
+                let op = if p.unix {
+                    costs::SOCK_OP
+                } else {
+                    costs::PIPE_OP
+                };
                 m.cpu.clock.charge(Tag::Handler, op);
                 if p.buffered + len as u64 > p.capacity {
                     return Err(Errno::WouldBlock);
@@ -476,13 +622,17 @@ impl Kernel {
     }
 
     fn sys_stat(&mut self, m: &mut Machine, path: &str) -> SysResult {
-        m.cpu.clock.charge(Tag::Handler, costs::PATH_LOOKUP + costs::STAT_FILL);
+        m.cpu
+            .clock
+            .charge(Tag::Handler, costs::PATH_LOOKUP + costs::STAT_FILL);
         let ino = self.vfs.lookup(path).map_err(|_| Errno::NoEnt)?;
         Ok(self.vfs.size(ino))
     }
 
     fn sys_fsync(&mut self, m: &mut Machine, fd: Fd) -> SysResult {
-        m.cpu.clock.charge(Tag::Handler, costs::FD_LOOKUP + costs::FSYNC_TMPFS);
+        m.cpu
+            .clock
+            .charge(Tag::Handler, costs::FD_LOOKUP + costs::FSYNC_TMPFS);
         match self.fd_of(fd)? {
             FileDesc::File { .. } => Ok(0),
             _ => Err(Errno::Inval),
@@ -502,7 +652,12 @@ impl Kernel {
         let len = page_align_up(len);
         let aspace = &mut self.procs.get_mut(&self.current).expect("cur").aspace;
         let base = aspace.alloc_mmap(len);
-        aspace.insert_vma(Vma { start: base, end: base + len, write, kind: VmaKind::Anon });
+        aspace.insert_vma(Vma {
+            start: base,
+            end: base + len,
+            write,
+            kind: VmaKind::Anon,
+        });
         Ok(base)
     }
 
@@ -521,9 +676,17 @@ impl Kernel {
         // Unmap and free present pages.
         let mut page = vma.start;
         while page < vma.end {
-            let info = self.procs.get_mut(&pid).expect("cur").aspace.pages.remove(&page);
+            let info = self
+                .procs
+                .get_mut(&pid)
+                .expect("cur")
+                .aspace
+                .pages
+                .remove(&page);
             if let Some(info) = info {
-                self.platform.unmap_page(m, root, page).map_err(|_| Errno::Fault)?;
+                self.platform
+                    .unmap_page(m, root, page)
+                    .map_err(|_| Errno::Fault)?;
                 self.drop_frame_ref(m, info.pa);
             }
             page += PAGE_SIZE;
@@ -557,7 +720,12 @@ impl Kernel {
                     .protect_page(m, root, page, MapFlags::user_rw().with_write(eff_write))
                     .map_err(|_| Errno::Fault)?;
                 info.vma_write = write;
-                self.procs.get_mut(&pid).expect("cur").aspace.pages.insert(page, info);
+                self.procs
+                    .get_mut(&pid)
+                    .expect("cur")
+                    .aspace
+                    .pages
+                    .insert(page, info);
             }
             page += PAGE_SIZE;
         }
@@ -570,7 +738,12 @@ impl Kernel {
         let old = aspace.brk;
         let new = page_align_up(old + incr);
         if incr > 0 {
-            aspace.insert_vma(Vma { start: old, end: new, write: true, kind: VmaKind::Heap });
+            aspace.insert_vma(Vma {
+                start: old,
+                end: new,
+                write: true,
+                kind: VmaKind::Heap,
+            });
             aspace.brk = new;
         }
         Ok(aspace.brk)
@@ -580,7 +753,7 @@ impl Kernel {
         if !self.platform.supports_fork() {
             return Err(Errno::NoSys);
         }
-        self.stats.forks += 1;
+        self.metrics.inc(self.ids.forks);
         let parent = self.current;
         m.cpu.clock.charge(Tag::Handler, costs::FORK_TASK);
         let child = self.create_process(m, parent)?;
@@ -588,9 +761,16 @@ impl Kernel {
         // Clone VMAs, fds, brk/mmap cursors.
         let (vmas, fds, brk, mmap_cursor) = {
             let p = &self.procs[&parent];
-            (p.aspace.vmas.clone(), p.fds.clone(), p.aspace.brk, p.aspace.mmap_cursor)
+            (
+                p.aspace.vmas.clone(),
+                p.fds.clone(),
+                p.aspace.brk,
+                p.aspace.mmap_cursor,
+            )
         };
-        m.cpu.clock.charge(Tag::Handler, costs::FORK_PER_VMA * vmas.len() as u64);
+        m.cpu
+            .clock
+            .charge(Tag::Handler, costs::FORK_PER_VMA * vmas.len() as u64);
         {
             let c = self.procs.get_mut(&child).expect("child");
             c.aspace.vmas = vmas;
@@ -617,11 +797,21 @@ impl Kernel {
                     .protect_page(m, parent_root, va, MapFlags::user_rw().with_write(false))
                     .map_err(|_| Errno::NoMem)?;
                 info.cow = true;
-                self.procs.get_mut(&parent).expect("par").aspace.pages.insert(va, info);
+                self.procs
+                    .get_mut(&parent)
+                    .expect("par")
+                    .aspace
+                    .pages
+                    .insert(va, info);
             }
             child_batch.push((va, info.pa, MapFlags::user_rw().with_write(false)));
             *self.frame_refs.entry(info.pa).or_insert(1) += 1;
-            self.procs.get_mut(&child).expect("child").aspace.pages.insert(va, info);
+            self.procs
+                .get_mut(&child)
+                .expect("child")
+                .aspace
+                .pages
+                .insert(va, info);
         }
         self.platform
             .map_pages(m, child_root, &child_batch)
@@ -653,9 +843,11 @@ impl Kernel {
         }
         // Fault in the first text pages and a stack page, as a real exec does.
         for i in 0..4 {
-            self.touch(m, layout::TEXT_BASE + i * PAGE_SIZE, false).map_err(|_| Errno::NoMem)?;
+            self.touch(m, layout::TEXT_BASE + i * PAGE_SIZE, false)
+                .map_err(|_| Errno::NoMem)?;
         }
-        self.touch(m, layout::STACK_TOP - PAGE_SIZE, true).map_err(|_| Errno::NoMem)?;
+        self.touch(m, layout::STACK_TOP - PAGE_SIZE, true)
+            .map_err(|_| Errno::NoMem)?;
         Ok(0)
     }
 
@@ -691,7 +883,11 @@ impl Kernel {
 
     fn sys_pipe(&mut self, unix: bool) -> SysResult {
         let id = self.pipes.len();
-        self.pipes.push(Pipe { buffered: 0, capacity: 64 * 1024, unix });
+        self.pipes.push(Pipe {
+            buffered: 0,
+            capacity: 64 * 1024,
+            unix,
+        });
         let p = self.procs.get_mut(&self.current).expect("cur");
         let rfd = p.install_fd(FileDesc::PipeRead { pipe: id });
         let wfd = p.install_fd(FileDesc::PipeWrite { pipe: id });
@@ -723,7 +919,8 @@ impl Kernel {
             // Flush queued responses before sleeping — end of a batch.
             let pending = self.socks[sock].tx_pending;
             if pending > 0 {
-                self.platform.hypercall(m, Hypercall::NetKick { packets: pending });
+                self.platform
+                    .hypercall(m, Hypercall::NetKick { packets: pending });
                 self.socks[sock].tx_pending = 0;
             }
             let mut got = self.platform.hypercall(m, Hypercall::NetPoll) as u32;
@@ -744,7 +941,9 @@ impl Kernel {
     }
 
     fn sys_net_send(&mut self, m: &mut Machine, fd: Fd, buf: Virt, len: usize) -> SysResult {
-        m.cpu.clock.charge(Tag::Handler, costs::FD_LOOKUP + costs::TCP_STACK);
+        m.cpu
+            .clock
+            .charge(Tag::Handler, costs::FD_LOOKUP + costs::TCP_STACK);
         let sock = self.sock_of(fd)?;
         self.copy_user(m, buf, len, false)?;
         self.socks[sock].tx_pending += 1;
@@ -755,7 +954,8 @@ impl Kernel {
         let sock = self.sock_of(fd)?;
         let pending = self.socks[sock].tx_pending;
         if pending > 0 {
-            self.platform.hypercall(m, Hypercall::NetKick { packets: pending });
+            self.platform
+                .hypercall(m, Hypercall::NetKick { packets: pending });
             self.socks[sock].tx_pending = 0;
         }
         Ok(pending as u64)
@@ -784,7 +984,9 @@ impl Kernel {
             // Batched teardown is cheaper than individual unmaps; charge a
             // fraction of the PTE write cost.
             m.cpu.clock.charge(Tag::Handler, 25);
-            self.platform.unmap_page(m, root, va).map_err(|_| Errno::Fault)?;
+            self.platform
+                .unmap_page(m, root, va)
+                .map_err(|_| Errno::Fault)?;
             self.drop_frame_ref(m, pa);
         }
         self.procs.get_mut(&pid).expect("proc").aspace.pages.clear();
@@ -799,7 +1001,7 @@ impl std::fmt::Debug for Kernel {
             .field("platform", &self.platform.name())
             .field("nprocs", &self.procs.len())
             .field("current", &self.current)
-            .field("stats", &self.stats.syscalls)
+            .field("syscalls", &self.metrics.get(self.ids.syscalls))
             .finish()
     }
 }
@@ -829,23 +1031,42 @@ mod tests {
     #[test]
     fn demand_paging_via_mmap() {
         let (mut k, mut m) = boot();
-        let base = k.syscall(&mut m, Sys::Mmap { len: 64 * 1024, write: true }).unwrap();
-        assert_eq!(k.stats.pgfaults, 0);
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 64 * 1024,
+                    write: true,
+                },
+            )
+            .unwrap();
+        assert_eq!(k.stats().pgfaults, 0);
         k.touch_range(&mut m, base, 64 * 1024, true).unwrap();
-        assert_eq!(k.stats.pgfaults, 16);
+        assert_eq!(k.stats().pgfaults, 16);
         // Second pass: no more faults.
         k.touch_range(&mut m, base, 64 * 1024, true).unwrap();
-        assert_eq!(k.stats.pgfaults, 16);
+        assert_eq!(k.stats().pgfaults, 16);
     }
 
     #[test]
     fn native_pgfault_costs_about_1us() {
         let (mut k, mut m) = boot();
-        let base = k.syscall(&mut m, Sys::Mmap { len: 1024 * PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 1024 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         let mark = m.cpu.clock.mark();
         k.touch_range(&mut m, base, 1024 * PAGE_SIZE, true).unwrap();
         let per_fault = m.cpu.clock.since_ns(mark) / 1024.0;
-        assert!((800.0..1300.0).contains(&per_fault), "native pgfault = {per_fault} ns");
+        assert!(
+            (800.0..1300.0).contains(&per_fault),
+            "native pgfault = {per_fault} ns"
+        );
     }
 
     #[test]
@@ -857,9 +1078,25 @@ mod tests {
     #[test]
     fn mprotect_write_fault() {
         let (mut k, mut m) = boot();
-        let base = k.syscall(&mut m, Sys::Mmap { len: PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         k.touch(&mut m, base, true).unwrap();
-        k.syscall(&mut m, Sys::Mprotect { addr: base, len: PAGE_SIZE, write: false }).unwrap();
+        k.syscall(
+            &mut m,
+            Sys::Mprotect {
+                addr: base,
+                len: PAGE_SIZE,
+                write: false,
+            },
+        )
+        .unwrap();
         assert_eq!(k.touch(&mut m, base, true), Err(Errno::Fault));
         assert!(k.touch(&mut m, base, false).is_ok());
     }
@@ -867,35 +1104,77 @@ mod tests {
     #[test]
     fn file_read_write_offsets() {
         let (mut k, mut m) = boot();
-        let buf = k.syscall(&mut m, Sys::Mmap { len: 16 * PAGE_SIZE, write: true }).unwrap();
+        let buf = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 16 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         let fd = k
-            .syscall(&mut m, Sys::Open { path: "/t", create: true, trunc: false })
+            .syscall(
+                &mut m,
+                Sys::Open {
+                    path: "/t",
+                    create: true,
+                    trunc: false,
+                },
+            )
             .unwrap() as Fd;
-        assert_eq!(k.syscall(&mut m, Sys::Write { fd, buf, len: 5000 }).unwrap(), 5000);
+        assert_eq!(
+            k.syscall(&mut m, Sys::Write { fd, buf, len: 5000 })
+                .unwrap(),
+            5000
+        );
         assert_eq!(k.syscall(&mut m, Sys::Stat { path: "/t" }).unwrap(), 5000);
         // Offset advanced; read hits EOF.
-        assert_eq!(k.syscall(&mut m, Sys::Read { fd, buf, len: 100 }).unwrap(), 0);
         assert_eq!(
-            k.syscall(&mut m, Sys::Pread { fd, buf, len: 100, offset: 0 }).unwrap(),
+            k.syscall(&mut m, Sys::Read { fd, buf, len: 100 }).unwrap(),
+            0
+        );
+        assert_eq!(
+            k.syscall(
+                &mut m,
+                Sys::Pread {
+                    fd,
+                    buf,
+                    len: 100,
+                    offset: 0
+                }
+            )
+            .unwrap(),
             100
         );
         k.syscall(&mut m, Sys::Close { fd }).unwrap();
-        assert_eq!(k.syscall(&mut m, Sys::Read { fd, buf, len: 1 }), Err(Errno::BadF));
+        assert_eq!(
+            k.syscall(&mut m, Sys::Read { fd, buf, len: 1 }),
+            Err(Errno::BadF)
+        );
     }
 
     #[test]
     fn fork_cow_semantics() {
         let (mut k, mut m) = boot();
-        let base = k.syscall(&mut m, Sys::Mmap { len: 4 * PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 4 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         k.touch_range(&mut m, base, 4 * PAGE_SIZE, true).unwrap();
         let child = k.syscall(&mut m, Sys::Fork).unwrap() as Pid;
         assert_ne!(child, k.current);
 
         // Parent write breaks COW (copy, since the child shares).
-        let faults_before = k.stats.pgfaults;
+        let faults_before = k.stats().pgfaults;
         k.touch(&mut m, base, true).unwrap();
-        assert_eq!(k.stats.pgfaults, faults_before + 1);
-        assert_eq!(k.stats.cow_breaks, 1);
+        assert_eq!(k.stats().pgfaults, faults_before + 1);
+        assert_eq!(k.stats().cow_breaks, 1);
 
         // Child still reads its own copy.
         k.context_switch(&mut m, child).unwrap();
@@ -913,7 +1192,10 @@ mod tests {
         let child = k.syscall(&mut m, Sys::Fork).unwrap() as Pid;
         k.context_switch(&mut m, child).unwrap();
         k.syscall(&mut m, Sys::Execve).unwrap();
-        assert!(k.proc(child).aspace.resident() >= 5, "exec faulted in text+stack");
+        assert!(
+            k.proc(child).aspace.resident() >= 5,
+            "exec faulted in text+stack"
+        );
         k.syscall(&mut m, Sys::Exit { code: 7 }).unwrap();
         k.context_switch(&mut m, 1).unwrap();
         assert_eq!(k.syscall(&mut m, Sys::Wait).unwrap(), child as u64);
@@ -923,25 +1205,74 @@ mod tests {
     #[test]
     fn pipe_roundtrip() {
         let (mut k, mut m) = boot();
-        let buf = k.syscall(&mut m, Sys::Mmap { len: PAGE_SIZE, write: true }).unwrap();
+        let buf = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         let fds = k.syscall(&mut m, Sys::PipeCreate).unwrap();
         let (rfd, wfd) = ((fds >> 32) as Fd, (fds & 0xffff_ffff) as Fd);
         assert_eq!(
-            k.syscall(&mut m, Sys::Read { fd: rfd, buf, len: 10 }),
+            k.syscall(
+                &mut m,
+                Sys::Read {
+                    fd: rfd,
+                    buf,
+                    len: 10
+                }
+            ),
             Err(Errno::WouldBlock)
         );
-        k.syscall(&mut m, Sys::Write { fd: wfd, buf, len: 10 }).unwrap();
-        assert_eq!(k.syscall(&mut m, Sys::Read { fd: rfd, buf, len: 10 }).unwrap(), 10);
+        k.syscall(
+            &mut m,
+            Sys::Write {
+                fd: wfd,
+                buf,
+                len: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            k.syscall(
+                &mut m,
+                Sys::Read {
+                    fd: rfd,
+                    buf,
+                    len: 10
+                }
+            )
+            .unwrap(),
+            10
+        );
     }
 
     #[test]
     fn munmap_returns_frames() {
         let (mut k, mut m) = boot();
         let in_use_before = m.frames.in_use();
-        let base = k.syscall(&mut m, Sys::Mmap { len: 8 * PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 8 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         k.touch_range(&mut m, base, 8 * PAGE_SIZE, true).unwrap();
         assert!(m.frames.in_use() > in_use_before);
-        k.syscall(&mut m, Sys::Munmap { addr: base, len: 8 * PAGE_SIZE }).unwrap();
+        k.syscall(
+            &mut m,
+            Sys::Munmap {
+                addr: base,
+                len: 8 * PAGE_SIZE,
+            },
+        )
+        .unwrap();
         // Data frames returned (intermediate PTPs may remain cached).
         assert!(m.frames.in_use() <= in_use_before + 4);
     }

@@ -17,13 +17,50 @@ fn boot() -> (Kernel, Machine) {
 #[test]
 fn bad_descriptors() {
     let (mut k, mut m) = boot();
-    let buf = k.syscall(&mut m, Sys::Mmap { len: PAGE_SIZE, write: true }).unwrap();
-    assert_eq!(k.syscall(&mut m, Sys::Read { fd: 99, buf, len: 1 }), Err(Errno::BadF));
-    assert_eq!(k.syscall(&mut m, Sys::Write { fd: -1, buf, len: 1 }), Err(Errno::BadF));
+    let buf = k
+        .syscall(
+            &mut m,
+            Sys::Mmap {
+                len: PAGE_SIZE,
+                write: true,
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        k.syscall(
+            &mut m,
+            Sys::Read {
+                fd: 99,
+                buf,
+                len: 1
+            }
+        ),
+        Err(Errno::BadF)
+    );
+    assert_eq!(
+        k.syscall(
+            &mut m,
+            Sys::Write {
+                fd: -1,
+                buf,
+                len: 1
+            }
+        ),
+        Err(Errno::BadF)
+    );
     assert_eq!(k.syscall(&mut m, Sys::Close { fd: 42 }), Err(Errno::BadF));
     assert_eq!(k.syscall(&mut m, Sys::Fsync { fd: 7 }), Err(Errno::BadF));
     // Double close.
-    let fd = k.syscall(&mut m, Sys::Open { path: "/x", create: true, trunc: false }).unwrap() as Fd;
+    let fd = k
+        .syscall(
+            &mut m,
+            Sys::Open {
+                path: "/x",
+                create: true,
+                trunc: false,
+            },
+        )
+        .unwrap() as Fd;
     k.syscall(&mut m, Sys::Close { fd }).unwrap();
     assert_eq!(k.syscall(&mut m, Sys::Close { fd }), Err(Errno::BadF));
 }
@@ -31,43 +68,139 @@ fn bad_descriptors() {
 #[test]
 fn pipe_direction_enforced() {
     let (mut k, mut m) = boot();
-    let buf = k.syscall(&mut m, Sys::Mmap { len: PAGE_SIZE, write: true }).unwrap();
+    let buf = k
+        .syscall(
+            &mut m,
+            Sys::Mmap {
+                len: PAGE_SIZE,
+                write: true,
+            },
+        )
+        .unwrap();
     let fds = k.syscall(&mut m, Sys::PipeCreate).unwrap();
     let (rfd, wfd) = ((fds >> 32) as Fd, (fds & 0xffff_ffff) as Fd);
-    assert_eq!(k.syscall(&mut m, Sys::Write { fd: rfd, buf, len: 1 }), Err(Errno::BadF));
-    assert_eq!(k.syscall(&mut m, Sys::Read { fd: wfd, buf, len: 1 }), Err(Errno::BadF));
+    assert_eq!(
+        k.syscall(
+            &mut m,
+            Sys::Write {
+                fd: rfd,
+                buf,
+                len: 1
+            }
+        ),
+        Err(Errno::BadF)
+    );
+    assert_eq!(
+        k.syscall(
+            &mut m,
+            Sys::Read {
+                fd: wfd,
+                buf,
+                len: 1
+            }
+        ),
+        Err(Errno::BadF)
+    );
 }
 
 #[test]
 fn pipe_capacity_blocks_writer() {
     let (mut k, mut m) = boot();
-    let buf = k.syscall(&mut m, Sys::Mmap { len: 128 * 1024, write: true }).unwrap();
+    let buf = k
+        .syscall(
+            &mut m,
+            Sys::Mmap {
+                len: 128 * 1024,
+                write: true,
+            },
+        )
+        .unwrap();
     k.touch_range(&mut m, buf, 128 * 1024, true).unwrap();
     let fds = k.syscall(&mut m, Sys::PipeCreate).unwrap();
     let (rfd, wfd) = ((fds >> 32) as Fd, (fds & 0xffff_ffff) as Fd);
     // Fill to capacity (64 KiB).
-    k.syscall(&mut m, Sys::Write { fd: wfd, buf, len: 64 * 1024 }).unwrap();
+    k.syscall(
+        &mut m,
+        Sys::Write {
+            fd: wfd,
+            buf,
+            len: 64 * 1024,
+        },
+    )
+    .unwrap();
     assert_eq!(
-        k.syscall(&mut m, Sys::Write { fd: wfd, buf, len: 1 }),
+        k.syscall(
+            &mut m,
+            Sys::Write {
+                fd: wfd,
+                buf,
+                len: 1
+            }
+        ),
         Err(Errno::WouldBlock)
     );
     // Drain, then write again.
-    k.syscall(&mut m, Sys::Read { fd: rfd, buf, len: 64 * 1024 }).unwrap();
-    k.syscall(&mut m, Sys::Write { fd: wfd, buf, len: 1 }).unwrap();
+    k.syscall(
+        &mut m,
+        Sys::Read {
+            fd: rfd,
+            buf,
+            len: 64 * 1024,
+        },
+    )
+    .unwrap();
+    k.syscall(
+        &mut m,
+        Sys::Write {
+            fd: wfd,
+            buf,
+            len: 1,
+        },
+    )
+    .unwrap();
 }
 
 #[test]
 fn mmap_zero_and_bad_munmap() {
     let (mut k, mut m) = boot();
-    assert_eq!(k.syscall(&mut m, Sys::Mmap { len: 0, write: true }), Err(Errno::Inval));
     assert_eq!(
-        k.syscall(&mut m, Sys::Munmap { addr: 0xdead_0000, len: PAGE_SIZE }),
+        k.syscall(
+            &mut m,
+            Sys::Mmap {
+                len: 0,
+                write: true
+            }
+        ),
+        Err(Errno::Inval)
+    );
+    assert_eq!(
+        k.syscall(
+            &mut m,
+            Sys::Munmap {
+                addr: 0xdead_0000,
+                len: PAGE_SIZE
+            }
+        ),
         Err(Errno::Inval)
     );
     // Partial munmap of a region is rejected (exact ranges only).
-    let base = k.syscall(&mut m, Sys::Mmap { len: 4 * PAGE_SIZE, write: true }).unwrap();
+    let base = k
+        .syscall(
+            &mut m,
+            Sys::Mmap {
+                len: 4 * PAGE_SIZE,
+                write: true,
+            },
+        )
+        .unwrap();
     assert_eq!(
-        k.syscall(&mut m, Sys::Munmap { addr: base, len: PAGE_SIZE }),
+        k.syscall(
+            &mut m,
+            Sys::Munmap {
+                addr: base,
+                len: PAGE_SIZE
+            }
+        ),
         Err(Errno::Inval)
     );
 }
@@ -105,7 +238,15 @@ fn grandchildren_are_reaped_by_their_parent() {
 fn deep_cow_chain() {
     // fork → fork → writes at every level keep data independent.
     let (mut k, mut m) = boot();
-    let base = k.syscall(&mut m, Sys::Mmap { len: PAGE_SIZE, write: true }).unwrap();
+    let base = k
+        .syscall(
+            &mut m,
+            Sys::Mmap {
+                len: PAGE_SIZE,
+                write: true,
+            },
+        )
+        .unwrap();
     k.touch(&mut m, base, true).unwrap();
     let c1 = k.syscall(&mut m, Sys::Fork).unwrap() as u32;
     k.context_switch(&mut m, c1).unwrap();
@@ -115,7 +256,7 @@ fn deep_cow_chain() {
         k.context_switch(&mut m, pid).unwrap();
         k.touch(&mut m, base, true).unwrap();
     }
-    assert!(k.stats.cow_breaks >= 2, "{}", k.stats.cow_breaks);
+    assert!(k.stats().cow_breaks >= 2, "{}", k.stats().cow_breaks);
 }
 
 #[test]
@@ -123,7 +264,15 @@ fn frames_fully_reclaimed_after_process_tree_exits() {
     let (mut k, mut m) = boot();
     let baseline = m.frames.in_use();
     // Build a little process tree with working sets, then tear it down.
-    let base = k.syscall(&mut m, Sys::Mmap { len: 64 * PAGE_SIZE, write: true }).unwrap();
+    let base = k
+        .syscall(
+            &mut m,
+            Sys::Mmap {
+                len: 64 * PAGE_SIZE,
+                write: true,
+            },
+        )
+        .unwrap();
     k.touch_range(&mut m, base, 64 * PAGE_SIZE, true).unwrap();
     let child = k.syscall(&mut m, Sys::Fork).unwrap() as u32;
     k.context_switch(&mut m, child).unwrap();
@@ -131,7 +280,14 @@ fn frames_fully_reclaimed_after_process_tree_exits() {
     k.syscall(&mut m, Sys::Exit { code: 0 }).unwrap();
     k.context_switch(&mut m, 1).unwrap();
     k.syscall(&mut m, Sys::Wait).unwrap();
-    k.syscall(&mut m, Sys::Munmap { addr: base, len: 64 * PAGE_SIZE }).unwrap();
+    k.syscall(
+        &mut m,
+        Sys::Munmap {
+            addr: base,
+            len: 64 * PAGE_SIZE,
+        },
+    )
+    .unwrap();
     // Everything except page-table pages cached by the allocator is back.
     let leaked = m.frames.in_use().saturating_sub(baseline);
     assert!(leaked <= 8, "leaked {leaked} frames");
@@ -141,7 +297,8 @@ fn frames_fully_reclaimed_after_process_tree_exits() {
 fn stack_grows_on_demand_and_guard_faults() {
     let (mut k, mut m) = boot();
     // Touch deep into the stack region: demand-paged.
-    k.touch(&mut m, layout::STACK_TOP - 10 * PAGE_SIZE, true).unwrap();
+    k.touch(&mut m, layout::STACK_TOP - 10 * PAGE_SIZE, true)
+        .unwrap();
     // Below the stack VMA: segfault.
     let below = layout::STACK_TOP - (layout::STACK_PAGES + 2) * PAGE_SIZE;
     assert_eq!(k.touch(&mut m, below, true), Err(Errno::Fault));
@@ -157,26 +314,67 @@ fn text_is_not_writable() {
 #[test]
 fn execve_resets_address_space() {
     let (mut k, mut m) = boot();
-    let base = k.syscall(&mut m, Sys::Mmap { len: 8 * PAGE_SIZE, write: true }).unwrap();
+    let base = k
+        .syscall(
+            &mut m,
+            Sys::Mmap {
+                len: 8 * PAGE_SIZE,
+                write: true,
+            },
+        )
+        .unwrap();
     k.touch_range(&mut m, base, 8 * PAGE_SIZE, true).unwrap();
     let resident_before = k.proc(1).aspace.resident();
     k.syscall(&mut m, Sys::Execve).unwrap();
     // Old mappings are gone; the fresh image is small.
     assert!(k.proc(1).aspace.resident() < resident_before);
-    assert_eq!(k.touch(&mut m, base, false), Err(Errno::Fault), "old mmap unmapped");
+    assert_eq!(
+        k.touch(&mut m, base, false),
+        Err(Errno::Fault),
+        "old mmap unmapped"
+    );
 }
 
 #[test]
 fn unlinked_open_file_still_readable() {
     let (mut k, mut m) = boot();
-    let buf = k.syscall(&mut m, Sys::Mmap { len: PAGE_SIZE, write: true }).unwrap();
-    let fd = k.syscall(&mut m, Sys::Open { path: "/u", create: true, trunc: false }).unwrap() as Fd;
+    let buf = k
+        .syscall(
+            &mut m,
+            Sys::Mmap {
+                len: PAGE_SIZE,
+                write: true,
+            },
+        )
+        .unwrap();
+    let fd = k
+        .syscall(
+            &mut m,
+            Sys::Open {
+                path: "/u",
+                create: true,
+                trunc: false,
+            },
+        )
+        .unwrap() as Fd;
     k.syscall(&mut m, Sys::Write { fd, buf, len: 100 }).unwrap();
     k.syscall(&mut m, Sys::Unlink { path: "/u" }).unwrap();
-    assert_eq!(k.syscall(&mut m, Sys::Stat { path: "/u" }), Err(Errno::NoEnt));
+    assert_eq!(
+        k.syscall(&mut m, Sys::Stat { path: "/u" }),
+        Err(Errno::NoEnt)
+    );
     // The open descriptor still works (unlink-while-open).
     assert_eq!(
-        k.syscall(&mut m, Sys::Pread { fd, buf, len: 100, offset: 0 }).unwrap(),
+        k.syscall(
+            &mut m,
+            Sys::Pread {
+                fd,
+                buf,
+                len: 100,
+                offset: 0
+            }
+        )
+        .unwrap(),
         100
     );
 }
@@ -184,13 +382,39 @@ fn unlinked_open_file_still_readable() {
 #[test]
 fn fds_are_inherited_across_fork() {
     let (mut k, mut m) = boot();
-    let buf = k.syscall(&mut m, Sys::Mmap { len: PAGE_SIZE, write: true }).unwrap();
-    let fd = k.syscall(&mut m, Sys::Open { path: "/h", create: true, trunc: false }).unwrap() as Fd;
+    let buf = k
+        .syscall(
+            &mut m,
+            Sys::Mmap {
+                len: PAGE_SIZE,
+                write: true,
+            },
+        )
+        .unwrap();
+    let fd = k
+        .syscall(
+            &mut m,
+            Sys::Open {
+                path: "/h",
+                create: true,
+                trunc: false,
+            },
+        )
+        .unwrap() as Fd;
     k.syscall(&mut m, Sys::Write { fd, buf, len: 64 }).unwrap();
     let child = k.syscall(&mut m, Sys::Fork).unwrap() as u32;
     k.context_switch(&mut m, child).unwrap();
     assert_eq!(
-        k.syscall(&mut m, Sys::Pread { fd, buf, len: 64, offset: 0 }).unwrap(),
+        k.syscall(
+            &mut m,
+            Sys::Pread {
+                fd,
+                buf,
+                len: 64,
+                offset: 0
+            }
+        )
+        .unwrap(),
         64,
         "child sees the parent's descriptor"
     );
@@ -203,7 +427,7 @@ fn per_syscall_stats_accumulate() {
         k.syscall(&mut m, Sys::Getpid).unwrap();
     }
     k.syscall(&mut m, Sys::Stat { path: "/nope" }).unwrap_err();
-    assert_eq!(k.stats.per_syscall["getpid"], 5);
-    assert_eq!(k.stats.per_syscall["stat"], 1);
-    assert_eq!(k.stats.syscalls, 6);
+    assert_eq!(k.stats().per_syscall["getpid"], 5);
+    assert_eq!(k.stats().per_syscall["stat"], 1);
+    assert_eq!(k.stats().syscalls, 6);
 }

@@ -42,7 +42,10 @@ impl LoadGen {
     /// Closed loop: every client not currently waiting for the server has a
     /// request ready.
     pub fn poll(&mut self) -> u32 {
-        let ready = self.clients.saturating_sub(self.in_flight).min(self.ring_size);
+        let ready = self
+            .clients
+            .saturating_sub(self.in_flight)
+            .min(self.ring_size);
         self.in_flight += ready;
         self.delivered += ready as u64;
         ready

@@ -154,8 +154,12 @@ pub trait Platform {
     }
 
     /// Removes the mapping at `va`; returns the old leaf PTE if one existed.
-    fn unmap_page(&mut self, m: &mut Machine, root: Phys, va: Virt)
-        -> Result<Option<u64>, MapFault>;
+    fn unmap_page(
+        &mut self,
+        m: &mut Machine,
+        root: Phys,
+        va: Virt,
+    ) -> Result<Option<u64>, MapFault>;
 
     /// Rewrites the leaf PTE at `va` (permission changes, COW breaks).
     fn protect_page(
@@ -228,13 +232,21 @@ pub struct NativePlatform {
 impl NativePlatform {
     /// Creates the native platform; processes run in PCID `pcid`.
     pub fn new(pcid: u16) -> Self {
-        Self { pcid, net_load: None, woke_from_idle: false }
+        Self {
+            pcid,
+            net_load: None,
+            woke_from_idle: false,
+        }
     }
 
     /// Attaches a closed-loop client fleet to the native NIC driver
     /// (0 clients detaches).
     pub fn with_clients(mut self, clients: u32) -> Self {
-        self.net_load = if clients == 0 { None } else { Some(crate::net::LoadGen::new(clients)) };
+        self.net_load = if clients == 0 {
+            None
+        } else {
+            Some(crate::net::LoadGen::new(clients))
+        };
         self
     }
 
@@ -321,7 +333,10 @@ impl Platform for NativePlatform {
         Self::charge(m, Tag::Handler, c);
         let old = PageTables::walk(&mut m.mem, root, va)
             .map_err(|_| MapFault::Rejected("protect of unmapped page"))?;
-        let new = sim_mem::pte::make(sim_mem::pte::addr(old.leaf), flags.encode() & !sim_mem::pte::ADDR_MASK);
+        let new = sim_mem::pte::make(
+            sim_mem::pte::addr(old.leaf),
+            flags.encode() & !sim_mem::pte::ADDR_MASK,
+        );
         PageTables::update_leaf(&mut m.mem, root, va, new);
         m.cpu.tlb.flush_va(va, self.pcid);
         Ok(())
@@ -376,7 +391,11 @@ impl Platform for NativePlatform {
         write: bool,
     ) -> Result<(), Fault> {
         debug_assert_eq!(m.cpu.cr3_root(), root);
-        let access = if write { sim_hw::Access::Write } else { sim_hw::Access::Read };
+        let access = if write {
+            sim_hw::Access::Write
+        } else {
+            sim_hw::Access::Read
+        };
         let prev = m.cpu.mode;
         m.cpu.mode = sim_hw::Mode::User;
         let r = m.cpu.mem_access(&mut m.mem, va, access, None).map(|_| ());
@@ -465,7 +484,8 @@ mod tests {
         let mut p = NativePlatform::new(1);
         let root = p.new_root(&mut m).unwrap();
         let frame = p.alloc_frame(&mut m).unwrap();
-        p.map_page(&mut m, root, 0x40_0000, frame, MapFlags::user_rw()).unwrap();
+        p.map_page(&mut m, root, 0x40_0000, frame, MapFlags::user_rw())
+            .unwrap();
         p.load_root(&mut m, root).unwrap();
         p.user_access(&mut m, root, 0x40_0000, true).unwrap();
         // Unmapped VA faults.
@@ -479,7 +499,8 @@ mod tests {
         let mut p = NativePlatform::new(1);
         let root = p.new_root(&mut m).unwrap();
         let frame = p.alloc_frame(&mut m).unwrap();
-        p.map_page(&mut m, root, 0x40_0000, frame, MapFlags::user_rw()).unwrap();
+        p.map_page(&mut m, root, 0x40_0000, frame, MapFlags::user_rw())
+            .unwrap();
         p.load_root(&mut m, root).unwrap();
         p.user_access(&mut m, root, 0x40_0000, false).unwrap();
         p.unmap_page(&mut m, root, 0x40_0000).unwrap();
@@ -492,10 +513,16 @@ mod tests {
         let mut p = NativePlatform::new(1);
         let root = p.new_root(&mut m).unwrap();
         let frame = p.alloc_frame(&mut m).unwrap();
-        p.map_page(&mut m, root, 0x40_0000, frame, MapFlags::user_rw()).unwrap();
-        p.load_root(&mut m, root).unwrap();
-        p.protect_page(&mut m, root, 0x40_0000, MapFlags::user_rw().with_write(false))
+        p.map_page(&mut m, root, 0x40_0000, frame, MapFlags::user_rw())
             .unwrap();
+        p.load_root(&mut m, root).unwrap();
+        p.protect_page(
+            &mut m,
+            root,
+            0x40_0000,
+            MapFlags::user_rw().with_write(false),
+        )
+        .unwrap();
         assert!(p.user_access(&mut m, root, 0x40_0000, true).is_err());
         assert!(p.user_access(&mut m, root, 0x40_0000, false).is_ok());
     }
@@ -507,7 +534,8 @@ mod tests {
         let before = m.frames.in_use();
         let root = p.new_root(&mut m).unwrap();
         let frame = p.alloc_frame(&mut m).unwrap();
-        p.map_page(&mut m, root, 0x40_0000, frame, MapFlags::user_rw()).unwrap();
+        p.map_page(&mut m, root, 0x40_0000, frame, MapFlags::user_rw())
+            .unwrap();
         p.unmap_page(&mut m, root, 0x40_0000).unwrap();
         p.free_frame(&mut m, frame);
         p.destroy_root(&mut m, root);

@@ -127,7 +127,10 @@ impl AddressSpace {
     pub fn insert_vma(&mut self, vma: Vma) {
         assert!(!vma.is_empty(), "inserting empty VMA");
         assert!(
-            !self.vmas.iter().any(|v| vma.start < v.end && v.start < vma.end),
+            !self
+                .vmas
+                .iter()
+                .any(|v| vma.start < v.end && v.start < vma.end),
             "VMA overlap at {:#x}..{:#x}",
             vma.start,
             vma.end
@@ -138,7 +141,10 @@ impl AddressSpace {
 
     /// Removes the VMA exactly covering `[start, end)` and returns it.
     pub fn remove_vma(&mut self, start: Virt, end: Virt) -> Option<Vma> {
-        let idx = self.vmas.iter().position(|v| v.start == start && v.end == end)?;
+        let idx = self
+            .vmas
+            .iter()
+            .position(|v| v.start == start && v.end == end)?;
         Some(self.vmas.remove(idx))
     }
 
@@ -242,8 +248,18 @@ mod tests {
     #[test]
     fn vma_sorted_insert_and_find() {
         let mut a = AddressSpace::new(0x1000);
-        a.insert_vma(Vma { start: 0x4000, end: 0x6000, write: true, kind: VmaKind::Anon });
-        a.insert_vma(Vma { start: 0x1000, end: 0x2000, write: false, kind: VmaKind::Text });
+        a.insert_vma(Vma {
+            start: 0x4000,
+            end: 0x6000,
+            write: true,
+            kind: VmaKind::Anon,
+        });
+        a.insert_vma(Vma {
+            start: 0x1000,
+            end: 0x2000,
+            write: false,
+            kind: VmaKind::Text,
+        });
         assert_eq!(a.vmas[0].start, 0x1000);
         assert!(a.find_vma(0x4fff).is_some());
         assert!(a.find_vma(0x3000).is_none());
@@ -254,8 +270,18 @@ mod tests {
     #[should_panic(expected = "VMA overlap")]
     fn overlap_rejected() {
         let mut a = AddressSpace::new(0x1000);
-        a.insert_vma(Vma { start: 0x4000, end: 0x6000, write: true, kind: VmaKind::Anon });
-        a.insert_vma(Vma { start: 0x5000, end: 0x7000, write: true, kind: VmaKind::Anon });
+        a.insert_vma(Vma {
+            start: 0x4000,
+            end: 0x6000,
+            write: true,
+            kind: VmaKind::Anon,
+        });
+        a.insert_vma(Vma {
+            start: 0x5000,
+            end: 0x7000,
+            write: true,
+            kind: VmaKind::Anon,
+        });
     }
 
     #[test]
@@ -269,7 +295,10 @@ mod tests {
     #[test]
     fn fd_installation() {
         let mut p = Process::new(1, 0, AddressSpace::new(0x1000));
-        let fd = p.install_fd(FileDesc::File { inode: 0, offset: 0 });
+        let fd = p.install_fd(FileDesc::File {
+            inode: 0,
+            offset: 0,
+        });
         assert_eq!(fd, 3);
         let fd2 = p.install_fd(FileDesc::PipeRead { pipe: 0 });
         assert_eq!(fd2, 4);

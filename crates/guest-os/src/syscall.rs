@@ -222,6 +222,14 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Sys::Getpid.name(), "getpid");
         assert_eq!(Sys::Fork.name(), "fork");
-        assert_eq!(Sys::NetRecv { fd: 3, buf: 0, len: 0 }.name(), "recv");
+        assert_eq!(
+            Sys::NetRecv {
+                fd: 3,
+                buf: 0,
+                len: 0
+            }
+            .name(),
+            "recv"
+        );
     }
 }

@@ -56,7 +56,10 @@ impl TmpFs {
             return Ok(ino);
         }
         let ino = self.inodes.len();
-        self.inodes.push(Inode { data: Vec::new(), nlink: 1 });
+        self.inodes.push(Inode {
+            data: Vec::new(),
+            nlink: 1,
+        });
         self.names.insert(path.to_owned(), ino);
         Ok(ino)
     }

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use obs::{CounterId, MetricsRegistry, SpanId, SpanProfiler};
 use sim_mem::addr::pt_index;
 use sim_mem::{pte, Phys, PhysMem, Virt, PAGE_SIZE};
 
@@ -133,13 +134,33 @@ pub struct Cpu {
     pub halted: bool,
     /// Architectural event tracer (disabled by default).
     pub tracer: Tracer,
+    /// Cycle-attributed span profiler (disabled by default; all layers
+    /// reach it through the machine).
+    pub profiler: SpanProfiler,
+    /// Unified metrics registry shared by every layer of the stack.
+    pub metrics: MetricsRegistry,
+    ids: HwCounterIds,
     instructions: u64,
-    page_walks: u64,
+}
+
+/// Pre-registered ids for the hardware-level counters (array-index cheap).
+struct HwCounterIds {
+    tlb_hit: CounterId,
+    tlb_miss: CounterId,
+    page_walks: CounterId,
+    irqs: CounterId,
 }
 
 impl Cpu {
     /// Creates a CPU in kernel mode with the given extensions and cost model.
     pub fn new(ext: HwExtensions, model: CostModel) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        let ids = HwCounterIds {
+            tlb_hit: metrics.counter("hw.tlb.hits"),
+            tlb_miss: metrics.counter("hw.tlb.misses"),
+            page_walks: metrics.counter("hw.page_walks"),
+            irqs: metrics.counter("hw.irqs_delivered"),
+        };
         Self {
             mode: Mode::Kernel,
             rsp: 0,
@@ -163,9 +184,33 @@ impl Cpu {
             ext,
             halted: false,
             tracer: Tracer::default(),
+            profiler: SpanProfiler::default(),
+            metrics,
+            ids,
             instructions: 0,
-            page_walks: 0,
         }
+    }
+
+    /// Opens a profiler span stamped with the current simulated cycle
+    /// count. Returns [`SpanId::NONE`] (and reads nothing) when profiling
+    /// is disabled.
+    #[inline]
+    pub fn span_enter(&mut self, name: &'static str) -> SpanId {
+        if !self.profiler.enabled() {
+            return SpanId::NONE;
+        }
+        let now = self.clock.cycles();
+        self.profiler.enter(name, now)
+    }
+
+    /// Closes a profiler span at the current simulated cycle count.
+    #[inline]
+    pub fn span_exit(&mut self, id: SpanId) {
+        if !self.profiler.enabled() {
+            return;
+        }
+        let now = self.clock.cycles();
+        self.profiler.exit(id, now);
     }
 
     /// Current page-table root (CR3 bits 51:12).
@@ -183,9 +228,9 @@ impl Cpu {
         self.instructions
     }
 
-    /// Completed page walks (TLB misses).
+    /// Completed page walks (TLB misses), from the metrics registry.
     pub fn page_walks(&self) -> u64 {
-        self.page_walks
+        self.metrics.get(self.ids.page_walks)
     }
 
     /// Architectural CR3 value.
@@ -198,7 +243,8 @@ impl Cpu {
     /// executing `mov cr3` with PKRS = 0.
     pub fn set_cr3(&mut self, root: Phys, pcid: u16, preserve_tlb: bool) {
         let cycles = self.clock.cycles();
-        self.tracer.record(cycles, TraceEvent::Cr3Load { root, pcid });
+        self.tracer
+            .record(cycles, TraceEvent::Cr3Load { root, pcid });
         self.cr3_root = root;
         self.pcid = pcid;
         if !preserve_tlb {
@@ -217,12 +263,16 @@ impl Cpu {
 
         // Ring check: privileged instructions fault in user mode.
         if self.mode == Mode::User && instr.is_privileged() {
-            return Err(Fault::GeneralProtection("privileged instruction in user mode"));
+            return Err(Fault::GeneralProtection(
+                "privileged instruction in user mode",
+            ));
         }
 
         // Opcode existence: wrpkrs/rdpkrs only exist with the extension.
         if matches!(instr, Instr::Wrpkrs { .. } | Instr::Rdpkrs) && !self.ext.wrpkrs_instruction {
-            return Err(Fault::UndefinedInstruction("wrpkrs requires the CKI extension"));
+            return Err(Fault::UndefinedInstruction(
+                "wrpkrs requires the CKI extension",
+            ));
         }
 
         // CKI extension: block destructive privileged instructions when the
@@ -235,9 +285,14 @@ impl Cpu {
             let cycles = self.clock.cycles();
             self.tracer.record(
                 cycles,
-                TraceEvent::InstrBlocked { mnemonic: instr.mnemonic(), pkrs: self.pkrs },
+                TraceEvent::InstrBlocked {
+                    mnemonic: instr.mnemonic(),
+                    pkrs: self.pkrs,
+                },
             );
-            return Err(Fault::BlockedPrivileged { mnemonic: instr.mnemonic() });
+            return Err(Fault::BlockedPrivileged {
+                mnemonic: instr.mnemonic(),
+            });
         }
 
         match instr {
@@ -309,7 +364,10 @@ impl Cpu {
                 self.clock.charge(Tag::Other, m.wrmsr);
                 Ok(ExecResult::Done)
             }
-            Instr::WriteCr3 { value, preserve_tlb } => {
+            Instr::WriteCr3 {
+                value,
+                preserve_tlb,
+            } => {
                 self.cr3_root = value & pte::ADDR_MASK;
                 self.pcid = (value & 0xfff) as u16;
                 if !preserve_tlb {
@@ -362,7 +420,11 @@ impl Cpu {
                 Ok(ExecResult::Done)
             }
             Instr::Iret { frame } => {
-                self.mode = if frame.user_mode { Mode::User } else { Mode::Kernel };
+                self.mode = if frame.user_mode {
+                    Mode::User
+                } else {
+                    Mode::Kernel
+                };
                 self.rflags_if = frame.if_flag;
                 self.rsp = frame.rsp;
                 if self.ext.iret_pkrs_restore {
@@ -405,8 +467,13 @@ impl Cpu {
             }
             Instr::Wrpkrs { value } => {
                 let cycles = self.clock.cycles();
-                self.tracer
-                    .record(cycles, TraceEvent::PkrsSwitch { from: self.pkrs, to: value });
+                self.tracer.record(
+                    cycles,
+                    TraceEvent::PkrsSwitch {
+                        from: self.pkrs,
+                        to: value,
+                    },
+                );
                 self.pkrs = value;
                 self.clock.charge(Tag::KsmCall, m.wrpkrs);
                 Ok(ExecResult::Done)
@@ -454,6 +521,21 @@ impl Cpu {
     /// for the frame cannot be written — the DoS scenario CKI's IST design
     /// prevents.
     pub fn deliver_interrupt(
+        &mut self,
+        mem: &mut PhysMem,
+        vector: u8,
+        hw: bool,
+    ) -> Result<Delivery, Fault> {
+        let sp = self.span_enter("hw.irq.deliver");
+        let r = self.deliver_interrupt_inner(mem, vector, hw);
+        self.span_exit(sp);
+        if r.is_ok() {
+            self.metrics.inc(self.ids.irqs);
+        }
+        r
+    }
+
+    fn deliver_interrupt_inner(
         &mut self,
         mem: &mut PhysMem,
         vector: u8,
@@ -520,7 +602,9 @@ impl Cpu {
             };
             if !df.present
                 || df_rsp < 64
-                || self.mem_access(mem, df_rsp - 8, Access::Write, None).is_err()
+                || self
+                    .mem_access(mem, df_rsp - 8, Access::Write, None)
+                    .is_err()
             {
                 self.mode = save_mode;
                 self.pkrs = save_pkrs;
@@ -530,15 +614,24 @@ impl Cpu {
             self.rsp = df_rsp;
             let c = self.clock.model().exception_entry;
             self.clock.charge(Tag::Handler, c);
-            return Ok(Delivery { handler: df.handler, frame, handler_rsp: df_rsp });
+            return Ok(Delivery {
+                handler: df.handler,
+                frame,
+                handler_rsp: df_rsp,
+            });
         }
         self.rflags_if = false;
         self.rsp = handler_rsp;
         let c = self.clock.model().exception_entry;
         self.clock.charge(Tag::Handler, c);
         let cycles = self.clock.cycles();
-        self.tracer.record(cycles, TraceEvent::InterruptDelivered { vector, hw });
-        Ok(Delivery { handler: entry.handler, frame, handler_rsp })
+        self.tracer
+            .record(cycles, TraceEvent::InterruptDelivered { vector, hw });
+        Ok(Delivery {
+            handler: entry.handler,
+            frame,
+            handler_rsp,
+        })
     }
 
     /// Translates and checks a memory access through the MMU.
@@ -552,19 +645,24 @@ impl Cpu {
         mem: &mut PhysMem,
         va: Virt,
         access: Access,
-        mut stage2: Option<&mut (dyn Stage2 + '_)>,
+        stage2: Option<&mut (dyn Stage2 + '_)>,
     ) -> Result<Phys, Fault> {
         let is_write = access == Access::Write;
         let as_user = self.mode == Mode::User;
 
         let entry = match self.tlb.lookup(va, self.pcid) {
             Some(e) => {
+                self.metrics.inc(self.ids.tlb_hit);
                 let c = self.clock.model().tlb_hit;
                 self.clock.charge(Tag::Mmu, c);
                 e
             }
             None => {
-                let e = self.walk(mem, va, stage2.as_deref_mut())?;
+                self.metrics.inc(self.ids.tlb_miss);
+                let sp = self.span_enter("hw.walk");
+                let walked = self.walk(mem, va, stage2);
+                self.span_exit(sp);
+                let e = walked?;
                 self.tlb.insert(va, self.pcid, e);
                 e
             }
@@ -579,10 +677,16 @@ impl Cpu {
             code |= pte::fault_code::USER;
         }
         if as_user && !entry.user {
-            return Err(Fault::PageFault { addr: va, code: code | pte::fault_code::PRESENT });
+            return Err(Fault::PageFault {
+                addr: va,
+                code: code | pte::fault_code::PRESENT,
+            });
         }
         if is_write && !entry.writable {
-            return Err(Fault::PageFault { addr: va, code: code | pte::fault_code::PRESENT });
+            return Err(Fault::PageFault {
+                addr: va,
+                code: code | pte::fault_code::PRESENT,
+            });
         }
         if access == Access::Exec && entry.nx {
             return Err(Fault::PageFault {
@@ -594,7 +698,11 @@ impl Cpu {
         // Protection keys. PKS does not apply to instruction fetches.
         if access != Access::Exec && entry.pkey != 0 {
             let rights = if entry.user {
-                if self.cr4 & CR4_PKE != 0 { Some(self.pkru) } else { None }
+                if self.cr4 & CR4_PKE != 0 {
+                    Some(self.pkru)
+                } else {
+                    None
+                }
             } else if self.cr4 & CR4_PKS != 0 {
                 Some(self.pkrs)
             } else {
@@ -607,9 +715,17 @@ impl Cpu {
                     let cycles = self.clock.cycles();
                     self.tracer.record(
                         cycles,
-                        TraceEvent::PkViolation { va, key: entry.pkey, write: is_write },
+                        TraceEvent::PkViolation {
+                            va,
+                            key: entry.pkey,
+                            write: is_write,
+                        },
                     );
-                    return Err(Fault::PkViolation { addr: va, key: entry.pkey, write: is_write });
+                    return Err(Fault::PkViolation {
+                        addr: va,
+                        key: entry.pkey,
+                        write: is_write,
+                    });
                 }
             }
         }
@@ -632,7 +748,7 @@ impl Cpu {
         va: Virt,
         mut stage2: Option<&mut (dyn Stage2 + '_)>,
     ) -> Result<TlbEntry, Fault> {
-        self.page_walks += 1;
+        self.metrics.inc(self.ids.page_walks);
         let m = self.clock.model().clone();
         let mut table_gpa = self.cr3_root;
         let mut writable = true;
@@ -664,7 +780,11 @@ impl Cpu {
                 if entry & pte::A == 0 {
                     mem.write_u64(slot, entry | pte::A);
                 }
-                let page_size = if level == 2 { 2 * 1024 * 1024 } else { PAGE_SIZE };
+                let page_size = if level == 2 {
+                    2 * 1024 * 1024
+                } else {
+                    PAGE_SIZE
+                };
                 let leaf_gpa = pte::addr(entry);
                 let leaf_hpa = match stage2.as_deref_mut() {
                     Some(s2) => {
@@ -752,17 +872,42 @@ mod tests {
         let (mut c, mut mem) = cpu(HwExtensions::cki());
         c.exec(&mut mem, Instr::Wrpkrs { value: 0b0100 }).unwrap();
         assert_eq!(c.pkrs, 0b0100);
-        let err = c.exec(&mut mem, Instr::Wrmsr { msr: 0x10, value: 1 }).unwrap_err();
-        assert!(matches!(err, Fault::BlockedPrivileged { mnemonic: "wrmsr" }));
+        let err = c
+            .exec(
+                &mut mem,
+                Instr::Wrmsr {
+                    msr: 0x10,
+                    value: 1,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::BlockedPrivileged { mnemonic: "wrmsr" }
+        ));
         // With PKRS back to zero (monitor context) the same instr executes.
         c.exec(&mut mem, Instr::Wrpkrs { value: 0 }).unwrap();
-        c.exec(&mut mem, Instr::Wrmsr { msr: 0x10, value: 1 }).unwrap();
+        c.exec(
+            &mut mem,
+            Instr::Wrmsr {
+                msr: 0x10,
+                value: 1,
+            },
+        )
+        .unwrap();
     }
 
     #[test]
     fn blocking_without_extension_is_permissive() {
         let (mut c, mut mem) = cpu(HwExtensions::baseline());
-        c.exec(&mut mem, Instr::Wrmsr { msr: MSR_IA32_PKRS, value: 0b0100 }).unwrap();
+        c.exec(
+            &mut mem,
+            Instr::Wrmsr {
+                msr: MSR_IA32_PKRS,
+                value: 0b0100,
+            },
+        )
+        .unwrap();
         assert_eq!(c.pkrs, 0b0100);
         // Plain PKS hardware cannot block privileged instructions.
         c.exec(&mut mem, Instr::Cli).unwrap();
@@ -773,12 +918,14 @@ mod tests {
     fn sysret_if_enforcement() {
         let (mut c, mut mem) = cpu(HwExtensions::cki());
         c.exec(&mut mem, Instr::Wrpkrs { value: 0b0100 }).unwrap();
-        c.exec(&mut mem, Instr::Sysret { restore_if: false }).unwrap();
+        c.exec(&mut mem, Instr::Sysret { restore_if: false })
+            .unwrap();
         assert!(c.rflags_if, "IF pinned on while PKRS != 0");
         assert_eq!(c.mode, Mode::User);
 
         let (mut c2, mut mem2) = cpu(HwExtensions::baseline());
-        c2.exec(&mut mem2, Instr::Sysret { restore_if: false }).unwrap();
+        c2.exec(&mut mem2, Instr::Sysret { restore_if: false })
+            .unwrap();
         assert!(!c2.rflags_if, "baseline sysret restores IF as asked");
     }
 
@@ -786,7 +933,13 @@ mod tests {
     fn mem_access_respects_pkrs() {
         let (mut c, mut mem) = cpu(HwExtensions::cki());
         let root = setup_root(&mut mem);
-        map_page(&mut mem, root, 0x1000, 0x20_0000, MapFlags::kernel_rw().with_pkey(1));
+        map_page(
+            &mut mem,
+            root,
+            0x1000,
+            0x20_0000,
+            MapFlags::kernel_rw().with_pkey(1),
+        );
         c.set_cr3(root, 1, false);
         // KSM view: PKRS = 0 — allowed.
         c.pkrs = 0;
@@ -794,7 +947,9 @@ mod tests {
         // Guest view: key 1 access-disabled — PK fault.
         c.pkrs = pkey::pkrs_deny_access(1);
         c.tlb.flush_all();
-        let err = c.mem_access(&mut mem, 0x1000, Access::Read, None).unwrap_err();
+        let err = c
+            .mem_access(&mut mem, 0x1000, Access::Read, None)
+            .unwrap_err();
         assert!(matches!(err, Fault::PkViolation { key: 1, .. }));
     }
 
@@ -802,12 +957,27 @@ mod tests {
     fn pk_write_disable_allows_reads() {
         let (mut c, mut mem) = cpu(HwExtensions::cki());
         let root = setup_root(&mut mem);
-        map_page(&mut mem, root, 0x2000, 0x20_1000, MapFlags::kernel_rw().with_pkey(2));
+        map_page(
+            &mut mem,
+            root,
+            0x2000,
+            0x20_1000,
+            MapFlags::kernel_rw().with_pkey(2),
+        );
         c.set_cr3(root, 1, false);
         c.pkrs = pkey::pkrs_deny_write(2);
         c.mem_access(&mut mem, 0x2000, Access::Read, None).unwrap();
-        let err = c.mem_access(&mut mem, 0x2000, Access::Write, None).unwrap_err();
-        assert!(matches!(err, Fault::PkViolation { key: 2, write: true, .. }));
+        let err = c
+            .mem_access(&mut mem, 0x2000, Access::Write, None)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Fault::PkViolation {
+                key: 2,
+                write: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -817,7 +987,9 @@ mod tests {
         map_page(&mut mem, root, 0x3000, 0x20_2000, MapFlags::kernel_rw());
         c.set_cr3(root, 1, false);
         c.mode = Mode::User;
-        let err = c.mem_access(&mut mem, 0x3000, Access::Read, None).unwrap_err();
+        let err = c
+            .mem_access(&mut mem, 0x3000, Access::Read, None)
+            .unwrap_err();
         assert!(matches!(err, Fault::PageFault { .. }));
     }
 
@@ -845,7 +1017,10 @@ mod tests {
         assert_eq!(entry, 0x77);
         assert_eq!(c.mode, Mode::Kernel);
         assert!(!c.rflags_if);
-        assert!(c.syscall_entry().is_err(), "syscall from kernel mode is #GP");
+        assert!(
+            c.syscall_entry().is_err(),
+            "syscall from kernel mode is #GP"
+        );
     }
 
     #[test]
@@ -856,7 +1031,12 @@ mod tests {
         map_page(&mut mem, root, 0x8000, 0x20_4000, MapFlags::kernel_rw());
         c.set_cr3(root, 1, false);
         c.idtr = 0x40_0000;
-        IdtEntry { handler: 0xaa, ist: 0, present: true }.write_to(&mut mem, 0x40_0000, 32);
+        IdtEntry {
+            handler: 0xaa,
+            ist: 0,
+            present: true,
+        }
+        .write_to(&mut mem, 0x40_0000, 32);
         c.rsp = 0x8ff8;
         c.pkrs = 0b0100;
 
@@ -881,7 +1061,12 @@ mod tests {
         let root = setup_root(&mut mem);
         c.set_cr3(root, 1, false);
         c.idtr = 0x40_0000;
-        IdtEntry { handler: 0xaa, ist: 0, present: true }.write_to(&mut mem, 0x40_0000, 32);
+        IdtEntry {
+            handler: 0xaa,
+            ist: 0,
+            present: true,
+        }
+        .write_to(&mut mem, 0x40_0000, 32);
         c.rsp = 0xdead_0000; // unmapped
         let err = c.deliver_interrupt(&mut mem, 32, true).unwrap_err();
         assert_eq!(err, Fault::TripleFault);
@@ -896,7 +1081,12 @@ mod tests {
         c.idtr = 0x40_0000;
         c.tss_base = 0x41_0000;
         idt::write_ist(&mut mem, 0x41_0000, 1, 0x9ff8);
-        IdtEntry { handler: 0xbb, ist: 1, present: true }.write_to(&mut mem, 0x40_0000, 33);
+        IdtEntry {
+            handler: 0xbb,
+            ist: 1,
+            present: true,
+        }
+        .write_to(&mut mem, 0x40_0000, 33);
         c.rsp = 0xdead_0000; // guest sabotaged its stack
         let d = c.deliver_interrupt(&mut mem, 33, true).unwrap();
         assert_eq!(d.handler_rsp, 0x9ff8);
@@ -933,14 +1123,27 @@ mod tests {
     #[test]
     fn read_instructions_return_values() {
         let (mut c, mut mem) = cpu(HwExtensions::cki());
-        c.exec(&mut mem, Instr::Wrmsr { msr: 0x1b, value: 0xfee0_0000 }).unwrap();
+        c.exec(
+            &mut mem,
+            Instr::Wrmsr {
+                msr: 0x1b,
+                value: 0xfee0_0000,
+            },
+        )
+        .unwrap();
         assert_eq!(
             c.exec(&mut mem, Instr::Rdmsr { msr: 0x1b }).unwrap(),
             ExecResult::Value(0xfee0_0000)
         );
-        assert_eq!(c.exec(&mut mem, Instr::Rdmsr { msr: 0x999 }).unwrap(), ExecResult::Value(0));
+        assert_eq!(
+            c.exec(&mut mem, Instr::Rdmsr { msr: 0x999 }).unwrap(),
+            ExecResult::Value(0)
+        );
         let cr0 = c.cr0;
-        assert_eq!(c.exec(&mut mem, Instr::ReadCr { cr: 0 }).unwrap(), ExecResult::Value(cr0));
+        assert_eq!(
+            c.exec(&mut mem, Instr::ReadCr { cr: 0 }).unwrap(),
+            ExecResult::Value(cr0)
+        );
         assert_eq!(
             c.exec(&mut mem, Instr::Smsw).unwrap(),
             ExecResult::Value(cr0 & 0xffff)
@@ -984,7 +1187,14 @@ mod tests {
         // blocks wrmsr in the guest but the MSR alias still exists for the
         // monitor (PKRS = 0 context).
         let (mut c, mut mem) = cpu(HwExtensions::cki());
-        c.exec(&mut mem, Instr::Wrmsr { msr: MSR_IA32_PKRS, value: 0b1100 }).unwrap();
+        c.exec(
+            &mut mem,
+            Instr::Wrmsr {
+                msr: MSR_IA32_PKRS,
+                value: 0b1100,
+            },
+        )
+        .unwrap();
         assert_eq!(c.pkrs, 0b1100);
         assert_eq!(
             c.exec(&mut mem, Instr::Rdmsr { msr: MSR_IA32_PKRS }),
@@ -1013,26 +1223,49 @@ mod tests {
                 },
             );
         }
-        c.exec(&mut mem, Instr::Invpcid {
-            mode: InvpcidMode::IndividualAddress { pcid: 1, va: 0x1000 },
-        })
+        c.exec(
+            &mut mem,
+            Instr::Invpcid {
+                mode: InvpcidMode::IndividualAddress {
+                    pcid: 1,
+                    va: 0x1000,
+                },
+            },
+        )
         .unwrap();
         assert!(c.tlb.lookup(0x1000, 1).is_none());
         assert!(c.tlb.lookup(0x2000, 1).is_some());
-        c.exec(&mut mem, Instr::Invpcid { mode: InvpcidMode::SingleContext { pcid: 1 } })
-            .unwrap();
+        c.exec(
+            &mut mem,
+            Instr::Invpcid {
+                mode: InvpcidMode::SingleContext { pcid: 1 },
+            },
+        )
+        .unwrap();
         assert!(c.tlb.lookup(0x2000, 1).is_none());
         assert!(c.tlb.lookup(0x1000, 2).is_some());
-        c.exec(&mut mem, Instr::Invpcid { mode: InvpcidMode::AllContexts }).unwrap();
+        c.exec(
+            &mut mem,
+            Instr::Invpcid {
+                mode: InvpcidMode::AllContexts,
+            },
+        )
+        .unwrap();
         assert!(c.tlb.is_empty());
     }
 
     #[test]
     fn missing_idt_triple_faults() {
         let (mut c, mut mem) = cpu(HwExtensions::cki());
-        assert_eq!(c.deliver_interrupt(&mut mem, 32, true), Err(Fault::TripleFault));
+        assert_eq!(
+            c.deliver_interrupt(&mut mem, 32, true),
+            Err(Fault::TripleFault)
+        );
         c.idtr = 0x40_0000; // present IDT, absent vector
-        assert_eq!(c.deliver_interrupt(&mut mem, 99, true), Err(Fault::TripleFault));
+        assert_eq!(
+            c.deliver_interrupt(&mut mem, 99, true),
+            Err(Fault::TripleFault)
+        );
     }
 
     #[test]
@@ -1044,7 +1277,12 @@ mod tests {
         assert_eq!(c.exec(&mut mem, Instr::Hlt).unwrap(), ExecResult::Halted);
         assert!(c.halted);
         c.idtr = 0x40_0000;
-        IdtEntry { handler: 1, ist: 0, present: true }.write_to(&mut mem, 0x40_0000, 34);
+        IdtEntry {
+            handler: 1,
+            ist: 0,
+            present: true,
+        }
+        .write_to(&mut mem, 0x40_0000, 34);
         c.rsp = 0x8ff8;
         c.deliver_interrupt(&mut mem, 34, true).unwrap();
         assert!(!c.halted);

@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn display_and_mnemonics() {
-        let f = Fault::PageFault { addr: 0x1000, code: 0b10 };
+        let f = Fault::PageFault {
+            addr: 0x1000,
+            code: 0b10,
+        };
         assert_eq!(f.mnemonic(), "#PF");
         assert!(f.to_string().contains("0x1000"));
         assert!(!f.traps_to_host());

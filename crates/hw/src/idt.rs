@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn entry_roundtrip() {
         let mut mem = PhysMem::new(1 << 20);
-        let e = IdtEntry { handler: 0xdead_beef, ist: 3, present: true };
+        let e = IdtEntry {
+            handler: 0xdead_beef,
+            ist: 3,
+            present: true,
+        };
         e.write_to(&mut mem, 0x4000, 32);
         let r = IdtEntry::read_from(&mut mem, 0x4000, 32);
         assert_eq!(e, r);

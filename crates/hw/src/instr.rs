@@ -308,18 +308,31 @@ mod tests {
             Instr::Lidt { base: 0 },
             Instr::Lgdt { base: 0 },
             Instr::Ltr { selector: 0 },
-            Instr::Wrmsr { msr: 0x10, value: 0 },
+            Instr::Wrmsr {
+                msr: 0x10,
+                value: 0,
+            },
             Instr::Rdmsr { msr: 0x10 },
             Instr::WriteCr0 { value: 0 },
             Instr::WriteCr4 { value: 0 },
-            Instr::WriteCr3 { value: 0, preserve_tlb: false },
-            Instr::Invpcid { mode: InvpcidMode::AllContexts },
-            Instr::Iret { frame: IretFrame::default() },
+            Instr::WriteCr3 {
+                value: 0,
+                preserve_tlb: false,
+            },
+            Instr::Invpcid {
+                mode: InvpcidMode::AllContexts,
+            },
+            Instr::Iret {
+                frame: IretFrame::default(),
+            },
             Instr::Cli,
             Instr::Sti,
             Instr::Popf { if_flag: false },
             Instr::InPort { port: 0x60 },
-            Instr::OutPort { port: 0x60, value: 0 },
+            Instr::OutPort {
+                port: 0x60,
+                value: 0,
+            },
             Instr::Smsw,
         ] {
             assert_eq!(i.guest_policy(), GuestPolicy::Blocked, "{}", i.mnemonic());

@@ -42,4 +42,9 @@ pub use instr::{GuestPolicy, Instr};
 pub use machine::Machine;
 pub use pkey::{pkrs_deny_access, pkrs_deny_write, PKEY_COUNT};
 pub use tlb::Tlb;
-pub use trace::{TraceEvent, Tracer};
+pub use trace::{TraceEvent, TraceKind, Tracer};
+
+// Observability substrate (spans + metrics) lives in the leaf `obs` crate;
+// re-export it so every layer that depends on sim-hw shares one instance.
+pub use obs;
+pub use obs::{MetricsRegistry, MetricsSnapshot, SpanId, SpanProfiler};

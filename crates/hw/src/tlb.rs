@@ -45,8 +45,6 @@ pub struct Tlb {
     entries: HashMap<Key, (TlbEntry, u64)>,
     capacity: usize,
     tick: u64,
-    hits: u64,
-    misses: u64,
 }
 
 impl Tlb {
@@ -65,8 +63,6 @@ impl Tlb {
             entries: HashMap::with_capacity(capacity),
             capacity,
             tick: 0,
-            hits: 0,
-            misses: 0,
         }
     }
 
@@ -75,41 +71,56 @@ impl Tlb {
         self.tick += 1;
         // 4 KiB then 2 MiB page key.
         for shift in [12u64, 21u64] {
-            let key = Key { vpn: va >> shift | (shift << 56), pcid };
+            let key = Key {
+                vpn: va >> shift | (shift << 56),
+                pcid,
+            };
             if let Some((e, stamp)) = self.entries.get_mut(&key) {
                 *stamp = self.tick;
-                self.hits += 1;
                 return Some(*e);
             }
             // Global pages are stored under PCID 0xffff.
-            let gkey = Key { vpn: va >> shift | (shift << 56), pcid: 0xffff };
+            let gkey = Key {
+                vpn: va >> shift | (shift << 56),
+                pcid: 0xffff,
+            };
             if let Some((e, stamp)) = self.entries.get_mut(&gkey) {
                 *stamp = self.tick;
-                self.hits += 1;
                 return Some(*e);
             }
         }
-        self.misses += 1;
         None
     }
 
     /// Inserts a translation for `va` in context `pcid`.
     pub fn insert(&mut self, va: Virt, pcid: u16, entry: TlbEntry) {
-        let shift = if entry.page_size == PAGE_SIZE { 12u64 } else { 21u64 };
+        let shift = if entry.page_size == PAGE_SIZE {
+            12u64
+        } else {
+            21u64
+        };
         let pcid = if entry.global { 0xffff } else { pcid };
         if self.entries.len() >= self.capacity {
             self.evict_one();
         }
         self.tick += 1;
-        self.entries
-            .insert(Key { vpn: va >> shift | (shift << 56), pcid }, (entry, self.tick));
+        self.entries.insert(
+            Key {
+                vpn: va >> shift | (shift << 56),
+                pcid,
+            },
+            (entry, self.tick),
+        );
     }
 
     /// Marks the cached entry for `va`/`pcid` dirty (after a write hit).
     pub fn mark_dirty(&mut self, va: Virt, pcid: u16) {
         for shift in [12u64, 21u64] {
             for p in [pcid, 0xffff] {
-                if let Some((e, _)) = self.entries.get_mut(&Key { vpn: va >> shift | (shift << 56), pcid: p }) {
+                if let Some((e, _)) = self.entries.get_mut(&Key {
+                    vpn: va >> shift | (shift << 56),
+                    pcid: p,
+                }) {
                     e.dirty = true;
                     return;
                 }
@@ -121,8 +132,14 @@ impl Tlb {
     /// Global entries are also dropped, per the SDM.
     pub fn flush_va(&mut self, va: Virt, pcid: u16) {
         for shift in [12u64, 21u64] {
-            self.entries.remove(&Key { vpn: va >> shift | (shift << 56), pcid });
-            self.entries.remove(&Key { vpn: va >> shift | (shift << 56), pcid: 0xffff });
+            self.entries.remove(&Key {
+                vpn: va >> shift | (shift << 56),
+                pcid,
+            });
+            self.entries.remove(&Key {
+                vpn: va >> shift | (shift << 56),
+                pcid: 0xffff,
+            });
         }
     }
 
@@ -145,16 +162,6 @@ impl Tlb {
     /// True if the TLB holds no translations.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
-    }
-
-    /// Hit count since construction.
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Miss count since construction.
-    pub fn misses(&self) -> u64 {
-        self.misses
     }
 
     /// Entries cached for a given PCID (diagnostics / isolation tests).
@@ -189,8 +196,6 @@ impl std::fmt::Debug for Tlb {
         f.debug_struct("Tlb")
             .field("entries", &self.entries.len())
             .field("capacity", &self.capacity)
-            .field("hits", &self.hits)
-            .field("misses", &self.misses)
             .finish()
     }
 }
@@ -220,8 +225,6 @@ mod tests {
         t.insert(0x1000, 1, entry(0xa000));
         let e = t.lookup(0x1000, 1).unwrap();
         assert_eq!(e.page_pa, 0xa000);
-        assert_eq!(t.hits(), 1);
-        assert_eq!(t.misses(), 1);
     }
 
     #[test]

@@ -61,29 +61,75 @@ pub enum TraceEvent {
     },
 }
 
-impl TraceEvent {
-    /// Coarse kind index for counting.
-    fn kind(&self) -> usize {
+/// Coarse classification of a [`TraceEvent`], usable as a counting key
+/// without fabricating a sample event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Blocked privileged instruction.
+    InstrBlocked,
+    /// Protection-key violation.
+    PkViolation,
+    /// Ordinary page fault.
+    PageFault,
+    /// PKRS value change.
+    PkrsSwitch,
+    /// Interrupt delivery.
+    InterruptDelivered,
+    /// CR3 load.
+    Cr3Load,
+}
+
+impl TraceKind {
+    /// All kinds, in counter-index order.
+    pub const ALL: [TraceKind; 6] = [
+        TraceKind::InstrBlocked,
+        TraceKind::PkViolation,
+        TraceKind::PageFault,
+        TraceKind::PkrsSwitch,
+        TraceKind::InterruptDelivered,
+        TraceKind::Cr3Load,
+    ];
+
+    fn index(self) -> usize {
         match self {
-            TraceEvent::InstrBlocked { .. } => 0,
-            TraceEvent::PkViolation { .. } => 1,
-            TraceEvent::PageFault { .. } => 2,
-            TraceEvent::PkrsSwitch { .. } => 3,
-            TraceEvent::InterruptDelivered { .. } => 4,
-            TraceEvent::Cr3Load { .. } => 5,
+            TraceKind::InstrBlocked => 0,
+            TraceKind::PkViolation => 1,
+            TraceKind::PageFault => 2,
+            TraceKind::PkrsSwitch => 3,
+            TraceKind::InterruptDelivered => 4,
+            TraceKind::Cr3Load => 5,
+        }
+    }
+
+    /// Kind label.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::InstrBlocked => "instr-blocked",
+            TraceKind::PkViolation => "pk-violation",
+            TraceKind::PageFault => "page-fault",
+            TraceKind::PkrsSwitch => "pkrs-switch",
+            TraceKind::InterruptDelivered => "interrupt",
+            TraceKind::Cr3Load => "cr3-load",
+        }
+    }
+}
+
+impl TraceEvent {
+    /// The coarse kind of this event.
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            TraceEvent::InstrBlocked { .. } => TraceKind::InstrBlocked,
+            TraceEvent::PkViolation { .. } => TraceKind::PkViolation,
+            TraceEvent::PageFault { .. } => TraceKind::PageFault,
+            TraceEvent::PkrsSwitch { .. } => TraceKind::PkrsSwitch,
+            TraceEvent::InterruptDelivered { .. } => TraceKind::InterruptDelivered,
+            TraceEvent::Cr3Load { .. } => TraceKind::Cr3Load,
         }
     }
 
     /// Kind label.
     pub fn kind_name(&self) -> &'static str {
-        match self {
-            TraceEvent::InstrBlocked { .. } => "instr-blocked",
-            TraceEvent::PkViolation { .. } => "pk-violation",
-            TraceEvent::PageFault { .. } => "page-fault",
-            TraceEvent::PkrsSwitch { .. } => "pkrs-switch",
-            TraceEvent::InterruptDelivered { .. } => "interrupt",
-            TraceEvent::Cr3Load { .. } => "cr3-load",
-        }
+        self.kind().name()
     }
 }
 
@@ -133,7 +179,7 @@ impl Tracer {
         if !self.enabled {
             return;
         }
-        self.counts[event.kind()] += 1;
+        self.counts[event.kind().index()] += 1;
         if self.ring.len() >= self.capacity {
             self.ring.pop_front();
             self.dropped += 1;
@@ -146,10 +192,10 @@ impl Tracer {
         self.ring.iter()
     }
 
-    /// Total events of each kind recorded since enabling (survives ring
-    /// wraparound), keyed by a sample event's kind.
-    pub fn count_of(&self, sample: TraceEvent) -> u64 {
-        self.counts[sample.kind()]
+    /// Total events of `kind` recorded since enabling (survives ring
+    /// wraparound).
+    pub fn count_of(&self, kind: TraceKind) -> u64 {
+        self.counts[kind.index()]
     }
 
     /// Events dropped to ring wraparound.
@@ -169,6 +215,13 @@ impl Tracer {
         use std::fmt::Write as _;
         let mut s = String::new();
         let skip = self.ring.len().saturating_sub(n);
+        if self.dropped > 0 {
+            let _ = writeln!(
+                s,
+                "[... {} earlier event(s) dropped from the ring ...]",
+                self.dropped
+            );
+        }
         for (cycles, ev) in self.ring.iter().skip(skip) {
             let us = *cycles as f64 / freq_ghz / 1000.0;
             let _ = writeln!(s, "[{us:10.3} µs] {:?}", ev);
@@ -190,7 +243,13 @@ mod tests {
     #[test]
     fn disabled_records_nothing() {
         let mut t = Tracer::default();
-        t.record(1, TraceEvent::PageFault { va: 0x1000, code: 2 });
+        t.record(
+            1,
+            TraceEvent::PageFault {
+                va: 0x1000,
+                code: 2,
+            },
+        );
         assert_eq!(t.events().count(), 0);
     }
 
@@ -199,23 +258,36 @@ mod tests {
         let mut t = Tracer::new(4);
         t.enable();
         for i in 0..10u64 {
-            t.record(i, TraceEvent::Cr3Load { root: i << 12, pcid: 1 });
+            t.record(
+                i,
+                TraceEvent::Cr3Load {
+                    root: i << 12,
+                    pcid: 1,
+                },
+            );
         }
         assert_eq!(t.events().count(), 4);
         assert_eq!(t.dropped(), 6);
-        assert_eq!(t.count_of(TraceEvent::Cr3Load { root: 0, pcid: 0 }), 10);
-        // Oldest were dropped.
+        assert_eq!(t.count_of(TraceKind::Cr3Load), 10);
+        // Oldest were dropped, and the tail says so.
         assert_eq!(t.events().next().unwrap().0, 6);
+        assert!(t.render_tail(4, 2.4).contains("6 earlier event(s) dropped"));
         t.clear();
         assert_eq!(t.events().count(), 0);
-        assert_eq!(t.count_of(TraceEvent::Cr3Load { root: 0, pcid: 0 }), 0);
+        assert_eq!(t.count_of(TraceKind::Cr3Load), 0);
     }
 
     #[test]
     fn render_tail_formats() {
         let mut t = Tracer::default();
         t.enable();
-        t.record(2400, TraceEvent::InstrBlocked { mnemonic: "wrmsr", pkrs: 4 });
+        t.record(
+            2400,
+            TraceEvent::InstrBlocked {
+                mnemonic: "wrmsr",
+                pkrs: 4,
+            },
+        );
         let out = t.render_tail(10, 2.4);
         assert!(out.contains("wrmsr"));
         assert!(out.contains("1.000 µs"));

@@ -1,8 +1,9 @@
-//! Property-based tests for the CPU model.
+//! Randomized property tests for the CPU model (deterministic seeded
+//! streams — the workspace builds offline, so no proptest).
 
-use proptest::prelude::*;
-use sim_hw::{pkrs_deny_access, pkrs_deny_write, Access, Cpu, HwExtensions, Mode};
+use obs::rng::SmallRng;
 use sim_hw::cost::CostModel;
+use sim_hw::{pkrs_deny_access, pkrs_deny_write, Access, Cpu, HwExtensions, Mode};
 use sim_mem::{MapFlags, PageTables, PhysMem, PAGE_SIZE};
 
 fn setup(pages: &[(u64, u8, bool)]) -> (Cpu, PhysMem, u64) {
@@ -26,24 +27,29 @@ fn setup(pages: &[(u64, u8, bool)]) -> (Cpu, PhysMem, u64) {
     (cpu, mem, root)
 }
 
-proptest! {
-    /// The TLB never changes an access's outcome: any sequence of accesses
-    /// gives the same result as a TLB-less oracle computed from the page
-    /// tables and PKRS.
-    #[test]
-    fn tlb_transparent(
-        pages in prop::collection::vec((0u64..16, 0u8..4, any::<bool>()), 1..12),
-        accesses in prop::collection::vec((0u64..16, any::<bool>()), 1..120),
-        denied_key in 1u8..4,
-        write_denied_key in 1u8..4,
-    ) {
-        // Dedup page indices (last mapping wins is not a thing; first wins).
+/// The TLB never changes an access's outcome: any sequence of accesses
+/// gives the same result as a TLB-less oracle computed from the page
+/// tables and PKRS.
+#[test]
+fn tlb_transparent() {
+    let mut rng = SmallRng::seed_from_u64(0x71B);
+    for _ in 0..40 {
         let mut seen = std::collections::HashSet::new();
-        let pages: Vec<_> = pages.into_iter().filter(|(i, _, _)| seen.insert(*i)).collect();
+        let mut pages = Vec::new();
+        for _ in 0..rng.gen_range(1usize..12) {
+            let idx = rng.gen_range(0u64..16);
+            if seen.insert(idx) {
+                pages.push((idx, rng.gen_range(0u8..4), rng.gen()));
+            }
+        }
+        let denied_key = rng.gen_range(1u8..4);
+        let write_denied_key = rng.gen_range(1u8..4);
         let (mut cpu, mut mem, _root) = setup(&pages);
         cpu.pkrs = pkrs_deny_access(denied_key) | pkrs_deny_write(write_denied_key);
 
-        for (idx, write) in accesses {
+        for _ in 0..rng.gen_range(1usize..120) {
+            let idx = rng.gen_range(0u64..16);
+            let write: bool = rng.gen();
             let va = 0x10_0000 + idx * PAGE_SIZE + (idx % 7) * 8;
             let kind = if write { Access::Write } else { Access::Read };
             let got = cpu.mem_access(&mut mem, va, kind, None);
@@ -51,48 +57,58 @@ proptest! {
             // Oracle from the mapping list.
             let entry = pages.iter().find(|(i, _, _)| *i == idx);
             match entry {
-                None => prop_assert!(got.is_err(), "unmapped access succeeded"),
+                None => assert!(got.is_err(), "unmapped access succeeded"),
                 Some(&(_, key, writable)) => {
-                    let key_blocks = key == denied_key
-                        || (write && (key == write_denied_key || key == denied_key));
+                    let key_blocks = key == denied_key || (write && key == write_denied_key);
                     let perm_blocks = write && !writable;
                     if key != 0 && key_blocks {
-                        prop_assert!(got.is_err(), "pkey {key} should block");
+                        assert!(got.is_err(), "pkey {key} should block");
                     } else if perm_blocks {
-                        prop_assert!(got.is_err(), "readonly write succeeded");
+                        assert!(got.is_err(), "readonly write succeeded");
                     } else {
                         let pa = got.expect("allowed access failed");
-                        prop_assert_eq!(pa & !(PAGE_SIZE - 1), 0x100_0000 + idx * PAGE_SIZE);
+                        assert_eq!(pa & !(PAGE_SIZE - 1), 0x100_0000 + idx * PAGE_SIZE);
                     }
                 }
             }
         }
     }
+}
 
-    /// Setting and clearing PKRS bits is exact for every key.
-    #[test]
-    fn pkrs_bit_algebra(keys in prop::collection::vec(0u8..16, 0..16)) {
+/// Setting and clearing PKRS bits is exact for every key.
+#[test]
+fn pkrs_bit_algebra() {
+    let mut rng = SmallRng::seed_from_u64(0xA16);
+    for _ in 0..200 {
+        let keys: Vec<u8> = (0..rng.gen_range(0usize..16))
+            .map(|_| rng.gen_range(0u8..16))
+            .collect();
         let mut pkrs = 0u32;
         for &k in &keys {
             pkrs |= pkrs_deny_access(k);
         }
         for k in 0u8..16 {
             let denied = keys.contains(&k);
-            prop_assert_eq!(sim_hw::pkey::denies_access(pkrs, k), denied);
+            assert_eq!(sim_hw::pkey::denies_access(pkrs, k), denied);
             // Access-deny implies write-deny.
             if denied {
-                prop_assert!(sim_hw::pkey::denies_write(pkrs, k));
+                assert!(sim_hw::pkey::denies_write(pkrs, k));
             }
         }
     }
+}
 
-    /// The dirty bit is set iff a write happened, regardless of TLB state.
-    #[test]
-    fn dirty_bit_tracks_writes(ops in prop::collection::vec((0u64..8, any::<bool>()), 1..40)) {
+/// The dirty bit is set iff a write happened, regardless of TLB state.
+#[test]
+fn dirty_bit_tracks_writes() {
+    let mut rng = SmallRng::seed_from_u64(0xD1);
+    for _ in 0..40 {
         let pages: Vec<_> = (0..8).map(|i| (i, 0u8, true)).collect();
         let (mut cpu, mut mem, root) = setup(&pages);
         let mut written = std::collections::HashSet::new();
-        for (idx, write) in ops {
+        for _ in 0..rng.gen_range(1usize..40) {
+            let idx = rng.gen_range(0u64..8);
+            let write: bool = rng.gen();
             let va = 0x10_0000 + idx * PAGE_SIZE;
             let kind = if write { Access::Write } else { Access::Read };
             cpu.mem_access(&mut mem, va, kind, None).unwrap();
@@ -101,24 +117,35 @@ proptest! {
             }
         }
         for i in 0..8u64 {
-            let leaf = PageTables::walk(&mut mem, root, 0x10_0000 + i * PAGE_SIZE).unwrap().leaf;
-            prop_assert_eq!(leaf & sim_mem::pte::D != 0, written.contains(&i), "page {}", i);
+            let leaf = PageTables::walk(&mut mem, root, 0x10_0000 + i * PAGE_SIZE)
+                .unwrap()
+                .leaf;
+            assert_eq!(
+                leaf & sim_mem::pte::D != 0,
+                written.contains(&i),
+                "page {i}"
+            );
         }
     }
+}
 
-    /// The clock is monotone under arbitrary charges, and tag totals sum to
-    /// the global total.
-    #[test]
-    fn clock_accounting(charges in prop::collection::vec((0usize..11, 0u64..10_000), 1..100)) {
-        use sim_hw::{Clock, Tag};
+/// The clock is monotone under arbitrary charges, and tag totals sum to
+/// the global total.
+#[test]
+fn clock_accounting() {
+    use sim_hw::{Clock, Tag};
+    let mut rng = SmallRng::seed_from_u64(0xC10C);
+    for _ in 0..50 {
         let mut clock = Clock::default();
         let mut last = 0;
-        for (t, c) in charges {
+        for _ in 0..rng.gen_range(1usize..100) {
+            let t = rng.gen_range(0usize..11);
+            let c = rng.gen_range(0u64..10_000);
             clock.charge(Tag::ALL[t], c);
-            prop_assert!(clock.cycles() >= last);
+            assert!(clock.cycles() >= last);
             last = clock.cycles();
         }
         let sum: u64 = Tag::ALL.iter().map(|&t| clock.tagged(t)).sum();
-        prop_assert_eq!(sum, clock.cycles());
+        assert_eq!(sum, clock.cycles());
     }
 }

@@ -83,7 +83,7 @@ impl FrameAllocator {
     /// Panics if the frame is outside the managed range or unaligned.
     pub fn free(&mut self, frame: Phys) {
         assert!(
-            (self.start..self.end).contains(&frame) && frame % PAGE_SIZE == 0,
+            (self.start..self.end).contains(&frame) && frame.is_multiple_of(PAGE_SIZE),
             "freeing foreign frame {frame:#x}"
         );
         self.allocated = self.allocated.saturating_sub(1);

@@ -210,11 +210,9 @@ impl PageTables {
         let mut table = root;
         let mut writable = true;
         let mut user = true;
-        let mut loads = 0u8;
         for level in (1..=4u8).rev() {
             let slot = table + 8 * pt_index(va, level) as u64;
             let entry = mem.read_u64(slot);
-            loads += 1;
             if !pte::present(entry) {
                 return Err(WalkError::NotPresent { level });
             }
@@ -230,7 +228,9 @@ impl PageTables {
                     pa: pte::addr(entry) | (va & page_mask),
                     leaf: entry,
                     leaf_level: level,
-                    loads,
+                    // One PTE read per visited level: 4 at the top, so far
+                    // 5 - level in total when the leaf sits at `level`.
+                    loads: 5 - level,
                     writable,
                     user,
                     leaf_slot: slot,
@@ -289,7 +289,12 @@ impl PageTables {
 
     /// Copies the top half (or any slice) of root entries between roots —
     /// used by the KSM to stamp its own mappings into per-vCPU root copies.
-    pub fn copy_root_entries(mem: &mut PhysMem, src_root: Phys, dst_root: Phys, range: std::ops::Range<usize>) {
+    pub fn copy_root_entries(
+        mem: &mut PhysMem,
+        src_root: Phys,
+        dst_root: Phys,
+        range: std::ops::Range<usize>,
+    ) {
         for idx in range {
             let entry = mem.read_u64(src_root + 8 * idx as u64);
             mem.write_u64(dst_root + 8 * idx as u64, entry);
@@ -346,9 +351,14 @@ mod tests {
             PageTables::walk(&mut mem, root, 0x1000),
             Err(WalkError::NotPresent { level: 4 })
         );
-        PageTables::map(&mut mem, root, 0x1000, 0x20_0000, MapFlags::user_rw(), &mut || {
-            fs.f()
-        })
+        PageTables::map(
+            &mut mem,
+            root,
+            0x1000,
+            0x20_0000,
+            MapFlags::user_rw(),
+            &mut || fs.f(),
+        )
         .unwrap();
         assert_eq!(
             PageTables::walk(&mut mem, root, 0x2000),
@@ -360,13 +370,24 @@ mod tests {
     fn double_map_rejected() {
         let (mut mem, mut fs) = setup();
         let root = PageTables::new_root(&mut mem, &mut || fs.f()).unwrap();
-        PageTables::map(&mut mem, root, 0x1000, 0x20_0000, MapFlags::user_rw(), &mut || {
-            fs.f()
-        })
+        PageTables::map(
+            &mut mem,
+            root,
+            0x1000,
+            0x20_0000,
+            MapFlags::user_rw(),
+            &mut || fs.f(),
+        )
         .unwrap();
         assert_eq!(
-            PageTables::map(&mut mem, root, 0x1000, 0x30_0000, MapFlags::user_rw(), &mut || fs
-                .f()),
+            PageTables::map(
+                &mut mem,
+                root,
+                0x1000,
+                0x30_0000,
+                MapFlags::user_rw(),
+                &mut || fs.f()
+            ),
             Err(MapError::AlreadyMapped)
         );
     }
@@ -394,9 +415,14 @@ mod tests {
     fn unmap_then_walk_fails() {
         let (mut mem, mut fs) = setup();
         let root = PageTables::new_root(&mut mem, &mut || fs.f()).unwrap();
-        PageTables::map(&mut mem, root, 0x5000, 0x20_0000, MapFlags::kernel_rw(), &mut || {
-            fs.f()
-        })
+        PageTables::map(
+            &mut mem,
+            root,
+            0x5000,
+            0x20_0000,
+            MapFlags::kernel_rw(),
+            &mut || fs.f(),
+        )
         .unwrap();
         let old = PageTables::unmap(&mut mem, root, 0x5000).unwrap();
         assert_eq!(pte::addr(old), 0x20_0000);
@@ -426,9 +452,14 @@ mod tests {
     fn update_leaf_changes_key() {
         let (mut mem, mut fs) = setup();
         let root = PageTables::new_root(&mut mem, &mut || fs.f()).unwrap();
-        PageTables::map(&mut mem, root, 0x9000, 0x20_0000, MapFlags::user_rw(), &mut || {
-            fs.f()
-        })
+        PageTables::map(
+            &mut mem,
+            root,
+            0x9000,
+            0x20_0000,
+            MapFlags::user_rw(),
+            &mut || fs.f(),
+        )
         .unwrap();
         let leaf = PageTables::walk(&mut mem, root, 0x9000).unwrap().leaf;
         PageTables::update_leaf(&mut mem, root, 0x9000, pte::with_pkey(leaf, 9)).unwrap();
@@ -446,9 +477,14 @@ mod tests {
         // Note: we only use canonical-low bits for indexing; use bit pattern
         // that lands in root slot 256.
         let va = 256u64 << 39;
-        PageTables::map(&mut mem, root_a, va, 0x20_0000, MapFlags::kernel_rw(), &mut || {
-            fs.f()
-        })
+        PageTables::map(
+            &mut mem,
+            root_a,
+            va,
+            0x20_0000,
+            MapFlags::kernel_rw(),
+            &mut || fs.f(),
+        )
         .unwrap();
         let _ = high_va;
         PageTables::copy_root_entries(&mut mem, root_a, root_b, 256..512);

@@ -1,0 +1,32 @@
+//! Cross-layer, cycle-attributed observability.
+//!
+//! Every layer of the stack — `sim-hw`, `guest-os`, `vmm`, `cki-core` —
+//! spends *simulated* cycles. This crate provides the shared substrate for
+//! attributing them:
+//!
+//! - [`SpanProfiler`]: nestable enter/exit scopes stamped with simulated
+//!   cycle counts, so a CKI page fault decomposes into
+//!   trap → handler → KSM gate → PTE-verify → iret with exact per-stage
+//!   cycles ([`span`]).
+//! - [`MetricsRegistry`]: named counters and log₂-bucketed histograms with
+//!   optional per-container / per-backend labels, with snapshot/delta
+//!   ([`metrics`]).
+//! - [`export`]: JSONL event traces, a Chrome-trace (`chrome://tracing`)
+//!   dump, and Prometheus-style text exposition.
+//!
+//! The crate sits below `sim-mem` in the dependency order and touches no
+//! simulator types: timestamps are plain cycle counts supplied by the
+//! caller (in practice `Clock::cycles()`), so it can be unit-tested — and
+//! reused — in isolation.
+//!
+//! **Zero-cost when disabled**: both the profiler and the registry check an
+//! `enabled` flag before any allocation or hashing, so instrumented hot
+//! paths cost one predictable branch when observability is off.
+
+pub mod export;
+pub mod metrics;
+pub mod rng;
+pub mod span;
+
+pub use metrics::{CounterId, HistId, HistSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use span::{SpanEvent, SpanId, SpanProfiler, SpanStat};

@@ -1,0 +1,452 @@
+//! The unified metrics registry.
+//!
+//! Counters and log₂-bucketed histograms, registered once (a hash lookup)
+//! and updated through dense integer ids (an array index — as cheap as the
+//! scattered `stats` fields this registry replaces). Metric names follow a
+//! `layer.noun[.verb]` convention (`os.syscalls`, `vmm.vm_exits`,
+//! `cki.gate_aborts`); an optional label carries the per-backend /
+//! per-container / per-syscall dimension.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`; `u64::MAX` lands in bucket 64.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index for a histogram observation.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Lower bound of a bucket (inclusive).
+pub fn bucket_lo(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        b => 1u64 << (b - 1),
+    }
+}
+
+/// Dense handle for a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Dense handle for a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(u32);
+
+struct Counter {
+    name: &'static str,
+    label: Option<&'static str>,
+    value: u64,
+}
+
+struct Hist {
+    name: &'static str,
+    label: Option<&'static str>,
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+/// The registry. One lives on the simulated CPU; every layer registers its
+/// counters at construction and bumps them by id on the hot path.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Vec<Counter>,
+    cindex: HashMap<(&'static str, Option<&'static str>), CounterId>,
+    hists: Vec<Hist>,
+    hindex: HashMap<(&'static str, Option<&'static str>), HistId>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or finds) an unlabeled counter.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        self.counter_labeled(name, None)
+    }
+
+    /// Registers (or finds) a counter carrying a label value, e.g.
+    /// `("os.syscall", Some("getpid"))`.
+    pub fn counter_labeled(
+        &mut self,
+        name: &'static str,
+        label: Option<&'static str>,
+    ) -> CounterId {
+        if let Some(&id) = self.cindex.get(&(name, label)) {
+            return id;
+        }
+        let id = CounterId(self.counters.len() as u32);
+        self.counters.push(Counter {
+            name,
+            label,
+            value: 0,
+        });
+        self.cindex.insert((name, label), id);
+        id
+    }
+
+    /// Adds to a counter. O(1).
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0 as usize].value += n;
+    }
+
+    /// Increments a counter by 1. O(1).
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Current value of a counter.
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize].value
+    }
+
+    /// Looks a counter value up by name (cold path; 0 if unregistered).
+    pub fn value_of(&self, name: &str, label: Option<&str>) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.label == label)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Iterates every counter as `(name, label, value)` in registration
+    /// order (cold path — reconstruction of legacy stat views).
+    pub fn iter_counters(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, Option<&'static str>, u64)> + '_ {
+        self.counters.iter().map(|c| (c.name, c.label, c.value))
+    }
+
+    /// Registers (or finds) an unlabeled histogram.
+    pub fn histogram(&mut self, name: &'static str) -> HistId {
+        self.histogram_labeled(name, None)
+    }
+
+    /// Registers (or finds) a labeled histogram.
+    pub fn histogram_labeled(&mut self, name: &'static str, label: Option<&'static str>) -> HistId {
+        if let Some(&id) = self.hindex.get(&(name, label)) {
+            return id;
+        }
+        let id = HistId(self.hists.len() as u32);
+        self.hists.push(Hist {
+            name,
+            label,
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        });
+        self.hindex.insert((name, label), id);
+        id
+    }
+
+    /// Records one observation. O(1).
+    #[inline]
+    pub fn observe(&mut self, id: HistId, value: u64) {
+        let h = &mut self.hists[id.0 as usize];
+        h.buckets[bucket_of(value)] += 1;
+        h.count += 1;
+        h.sum = h.sum.saturating_add(value);
+    }
+
+    /// Point-in-time copy of every metric, keyed `name` or `name{label}`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        for c in &self.counters {
+            counters.insert(key(c.name, c.label), c.value);
+        }
+        let mut histograms = BTreeMap::new();
+        for h in &self.hists {
+            histograms.insert(
+                key(h.name, h.label),
+                HistSnapshot {
+                    buckets: h.buckets,
+                    count: h.count,
+                    sum: h.sum,
+                },
+            );
+        }
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Resets every value to zero, keeping registrations (and ids) intact.
+    pub fn reset(&mut self) {
+        for c in &mut self.counters {
+            c.value = 0;
+        }
+        for h in &mut self.hists {
+            h.buckets = [0; HIST_BUCKETS];
+            h.count = 0;
+            h.sum = 0;
+        }
+    }
+
+    /// Prometheus-style text exposition of the whole registry.
+    /// `extra_labels` (e.g. `[("backend", "cki")]`) are added to every
+    /// series.
+    pub fn prometheus(&self, extra_labels: &[(&str, &str)]) -> String {
+        let mut out = String::new();
+        let fmt_labels = |label: Option<&'static str>| -> String {
+            let mut parts: Vec<String> = extra_labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            if let Some(l) = label {
+                parts.push(format!("label=\"{l}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        let mut last_name = "";
+        for c in &self.counters {
+            let name = metric_name(c.name);
+            if c.name != last_name {
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                last_name = c.name;
+            }
+            out.push_str(&format!("{name}{} {}\n", fmt_labels(c.label), c.value));
+        }
+        for h in &self.hists {
+            let name = metric_name(h.name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate() {
+                if b == 0 {
+                    continue;
+                }
+                cumulative += b;
+                let le = if i >= 64 {
+                    "+Inf".to_string()
+                } else {
+                    format!("{}", (1u64 << i) - 1)
+                };
+                let mut labels: Vec<String> = extra_labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{v}\""))
+                    .collect();
+                if let Some(l) = h.label {
+                    labels.push(format!("label=\"{l}\""));
+                }
+                labels.push(format!("le=\"{le}\""));
+                out.push_str(&format!(
+                    "{name}_bucket{{{}}} {cumulative}\n",
+                    labels.join(",")
+                ));
+            }
+            out.push_str(&format!("{name}_sum{} {}\n", fmt_labels(h.label), h.sum));
+            out.push_str(&format!(
+                "{name}_count{} {}\n",
+                fmt_labels(h.label),
+                h.count
+            ));
+        }
+        out
+    }
+}
+
+fn key(name: &str, label: Option<&str>) -> String {
+    match label {
+        Some(l) => format!("{name}{{{l}}}"),
+        None => name.to_string(),
+    }
+}
+
+/// Dots become underscores for Prometheus compatibility.
+fn metric_name(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+/// A frozen copy of the registry, independent of the live ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values keyed `name` or `name{label}`.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states, same keying.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+/// A frozen histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by key (0 if absent).
+    pub fn get(&self, k: &str) -> u64 {
+        self.counters.get(k).copied().unwrap_or(0)
+    }
+
+    /// Union with `other`, summing values on key collisions (used to merge
+    /// per-layer registries into one view).
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (k, &v) in &other.counters {
+            *out.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            match out.histograms.get_mut(k) {
+                None => {
+                    out.histograms.insert(k.clone(), h.clone());
+                }
+                Some(mine) => {
+                    for i in 0..HIST_BUCKETS {
+                        mine.buckets[i] += h.buckets[i];
+                    }
+                    mine.count += h.count;
+                    mine.sum = mine.sum.saturating_add(h.sum);
+                }
+            }
+        }
+        out
+    }
+
+    /// Counters accumulated since `earlier` (absent keys treated as 0).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        for (k, &v) in &self.counters {
+            let d = v - earlier.counters.get(k).copied().unwrap_or(0);
+            if d > 0 {
+                counters.insert(k.clone(), d);
+            }
+        }
+        let mut histograms = BTreeMap::new();
+        for (k, h) in &self.histograms {
+            let mut d = h.clone();
+            if let Some(e) = earlier.histograms.get(k) {
+                for i in 0..HIST_BUCKETS {
+                    d.buckets[i] -= e.buckets[i];
+                }
+                d.count -= e.count;
+                d.sum -= e.sum;
+            }
+            if d.count > 0 {
+                histograms.insert(k.clone(), d);
+            }
+        }
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        // The edge cases from the issue: 0, u64::MAX, and bucket boundaries.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of((1 << 20) - 1), 20);
+        assert_eq!(bucket_of(1 << 20), 21);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_of(1 << 63), 64);
+        assert_eq!(bucket_of((1 << 63) - 1), 63);
+        assert!(bucket_of(u64::MAX) < HIST_BUCKETS);
+        // Every bucket's lower bound maps back into that bucket.
+        for b in 0..HIST_BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(b)), b, "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn histogram_saturates_sum_not_count() {
+        let mut r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        r.observe(h, u64::MAX);
+        r.observe(h, u64::MAX);
+        let s = r.snapshot();
+        let hs = &s.histograms["lat"];
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(hs.buckets[64], 2);
+    }
+
+    #[test]
+    fn counter_ids_are_stable_and_cheap() {
+        let mut r = MetricsRegistry::new();
+        let a = r.counter("os.syscalls");
+        let b = r.counter("os.syscalls");
+        assert_eq!(a, b, "re-registering returns the same id");
+        r.add(a, 3);
+        r.inc(b);
+        assert_eq!(r.get(a), 4);
+        assert_eq!(r.value_of("os.syscalls", None), 4);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct_series() {
+        let mut r = MetricsRegistry::new();
+        let g = r.counter_labeled("os.syscall", Some("getpid"));
+        let w = r.counter_labeled("os.syscall", Some("write"));
+        r.add(g, 2);
+        r.add(w, 5);
+        let s = r.snapshot();
+        assert_eq!(s.get("os.syscall{getpid}"), 2);
+        assert_eq!(s.get("os.syscall{write}"), 5);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("x");
+        let h = r.histogram("y");
+        r.add(c, 10);
+        r.observe(h, 100);
+        let before = r.snapshot();
+        r.add(c, 7);
+        r.observe(h, 200);
+        let d = r.snapshot().delta(&before);
+        assert_eq!(d.get("x"), 7);
+        assert_eq!(d.histograms["y"].count, 1);
+        assert_eq!(d.histograms["y"].sum, 200);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("os.syscalls");
+        r.add(c, 42);
+        let h = r.histogram("os.pgfault.ns");
+        r.observe(h, 1000);
+        let text = r.prometheus(&[("backend", "cki")]);
+        assert!(text.contains("# TYPE os_syscalls counter"));
+        assert!(text.contains("os_syscalls{backend=\"cki\"} 42"));
+        assert!(text.contains("# TYPE os_pgfault_ns histogram"));
+        assert!(text.contains("os_pgfault_ns_count{backend=\"cki\"} 1"));
+        assert!(text.contains("le=\"1023\""));
+    }
+
+    #[test]
+    fn reset_keeps_registrations() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("x");
+        r.add(c, 5);
+        r.reset();
+        assert_eq!(r.get(c), 0);
+        assert_eq!(r.counter("x"), c);
+    }
+}

@@ -51,7 +51,11 @@ impl GvisorPlatform {
         // Sentry↔host crossings are ordinary syscalls (native exits).
         let exits = ExitCosts::native(&model);
         let _ = &m;
-        Self { net: NetBackend::new(exits), pcid: 6, systrap_syscalls: 0 }
+        Self {
+            net: NetBackend::new(exits),
+            pcid: 6,
+            systrap_syscalls: 0,
+        }
     }
 
     /// Attaches a closed-loop client fleet.
@@ -200,7 +204,11 @@ impl Platform for GvisorPlatform {
         write: bool,
     ) -> Result<(), Fault> {
         debug_assert_eq!(m.cpu.cr3_root(), root);
-        let access = if write { sim_hw::Access::Write } else { sim_hw::Access::Read };
+        let access = if write {
+            sim_hw::Access::Write
+        } else {
+            sim_hw::Access::Read
+        };
         let prev = m.cpu.mode;
         m.cpu.mode = sim_hw::Mode::User;
         let Machine { cpu, mem, .. } = m;
@@ -213,7 +221,9 @@ impl Platform for GvisorPlatform {
         match call {
             Hypercall::NetKick { packets } => {
                 // The Sentry netstack processes each packet in user space.
-                m.cpu.clock.charge(Tag::Io, NETSTACK_EXTRA * packets as u64 / 2);
+                m.cpu
+                    .clock
+                    .charge(Tag::Io, NETSTACK_EXTRA * packets as u64 / 2);
                 self.net.kick(&mut m.cpu.clock, packets);
                 0
             }
@@ -244,7 +254,10 @@ pub struct LibOsPlatform {
 impl LibOsPlatform {
     /// Creates the platform.
     pub fn new(_m: &mut Machine) -> Self {
-        Self { pcid: 7, fncall_syscalls: 0 }
+        Self {
+            pcid: 7,
+            fncall_syscalls: 0,
+        }
     }
 }
 
@@ -302,7 +315,10 @@ impl Platform for LibOsPlatform {
         m.cpu.clock.charge(Tag::Handler, c);
         // No user/kernel isolation inside the container: everything the
         // libOS maps is user-accessible, writable-as-mapped.
-        let flags = MapFlags { user: true, ..flags };
+        let flags = MapFlags {
+            user: true,
+            ..flags
+        };
         let Machine { mem, frames, .. } = m;
         PageTables::map(mem, root, va, pa, flags, &mut || frames.alloc())
             .map_err(|_| MapFault::OutOfMemory)
@@ -332,7 +348,10 @@ impl Platform for LibOsPlatform {
         m.cpu.clock.charge(Tag::Handler, c);
         let old = PageTables::walk(&mut m.mem, root, va)
             .map_err(|_| MapFault::Rejected("protect of unmapped page"))?;
-        let flags = MapFlags { user: true, ..flags };
+        let flags = MapFlags {
+            user: true,
+            ..flags
+        };
         let new = sim_mem::pte::make(
             sim_mem::pte::addr(old.leaf),
             flags.encode() & !sim_mem::pte::ADDR_MASK,
@@ -386,7 +405,11 @@ impl Platform for LibOsPlatform {
         write: bool,
     ) -> Result<(), Fault> {
         debug_assert_eq!(m.cpu.cr3_root(), root);
-        let access = if write { sim_hw::Access::Write } else { sim_hw::Access::Read };
+        let access = if write {
+            sim_hw::Access::Write
+        } else {
+            sim_hw::Access::Read
+        };
         // Application and libOS share one privilege context (no U/K split).
         let Machine { cpu, mem, .. } = m;
         cpu.mem_access(mem, va, access, None).map(|_| ())
@@ -439,7 +462,15 @@ mod tests {
         // "gVisor lets the host kernel handle the application page faults,
         // avoiding the overhead of shadow paging" (§2.4.3).
         let (mut k, mut m) = boot_gvisor();
-        let base = k.syscall(&mut m, Sys::Mmap { len: 256 * 4096, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 256 * 4096,
+                    write: true,
+                },
+            )
+            .unwrap();
         let mark = m.cpu.clock.mark();
         k.touch_range(&mut m, base, 256 * 4096, true).unwrap();
         let per = m.cpu.clock.since_ns(mark) / 256.0;
@@ -467,7 +498,15 @@ mod tests {
         // cannot: everything ends up user-accessible. An application can
         // read what should be the kernel's.
         let (mut k, mut m) = boot_libos();
-        let base = k.syscall(&mut m, Sys::Mmap { len: 4096, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 4096,
+                    write: true,
+                },
+            )
+            .unwrap();
         k.touch(&mut m, base, true).unwrap();
         let root = k.proc(1).aspace.root;
         let leaf = k.platform.read_pte(&mut m, root, base).unwrap();

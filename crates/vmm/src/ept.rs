@@ -40,7 +40,14 @@ impl Ept {
     pub fn new(m: &mut Machine, base: Phys, size: u64) -> Self {
         let Machine { mem, frames, .. } = m;
         let root = PageTables::new_root(mem, &mut || frames.alloc()).expect("EPT root");
-        Self { root, base, size, huge_pages: false, violations: 0, mappings: 0 }
+        Self {
+            root,
+            base,
+            size,
+            huge_pages: false,
+            violations: 0,
+            mappings: 0,
+        }
     }
 
     /// Enables 2 MiB stage-2 mappings.
@@ -55,7 +62,11 @@ impl Ept {
     ///
     /// Panics if `gpa` is outside the VM window.
     pub fn sw_translate(&self, gpa: Phys) -> Phys {
-        assert!(gpa < self.size, "gPA {gpa:#x} outside VM of {:#x} bytes", self.size);
+        assert!(
+            gpa < self.size,
+            "gPA {gpa:#x} outside VM of {:#x} bytes",
+            self.size
+        );
         self.base + gpa
     }
 
@@ -63,14 +74,24 @@ impl Ept {
     ///
     /// Returns `false` if it was already mapped (spurious fault).
     pub fn map_gpa(&mut self, m: &mut Machine, gpa: Phys) -> bool {
-        let flags = MapFlags { write: true, user: true, nx: false, global: false, pkey: 0 };
+        let flags = MapFlags {
+            write: true,
+            user: true,
+            nx: false,
+            global: false,
+            pkey: 0,
+        };
         let Machine { mem, frames, .. } = m;
         let r = if self.huge_pages {
             let g = gpa & !(HUGE_PAGE_SIZE - 1);
-            PageTables::map_huge(mem, self.root, g, self.base + g, flags, &mut || frames.alloc())
+            PageTables::map_huge(mem, self.root, g, self.base + g, flags, &mut || {
+                frames.alloc()
+            })
         } else {
             let g = gpa & !(PAGE_SIZE - 1);
-            PageTables::map(mem, self.root, g, self.base + g, flags, &mut || frames.alloc())
+            PageTables::map(mem, self.root, g, self.base + g, flags, &mut || {
+                frames.alloc()
+            })
         };
         if r.is_ok() {
             self.mappings += 1;
@@ -121,10 +142,14 @@ mod tests {
         let mut m = machine();
         let mut ept = Ept::new(&mut m, 0x800_0000, 64 * 1024 * 1024);
         let mut clock = Clock::default();
-        let err = ept.translate(&mut m.mem, 0x1000, false, &mut clock).unwrap_err();
+        let err = ept
+            .translate(&mut m.mem, 0x1000, false, &mut clock)
+            .unwrap_err();
         assert!(matches!(err, Fault::EptViolation { gpa: 0x1000, .. }));
         assert!(ept.map_gpa(&mut m, 0x1000));
-        let pa = ept.translate(&mut m.mem, 0x1234, false, &mut clock).unwrap();
+        let pa = ept
+            .translate(&mut m.mem, 0x1234, false, &mut clock)
+            .unwrap();
         assert_eq!(pa, 0x800_0000 + 0x1234);
         assert_eq!(ept.violations, 1);
     }
@@ -138,11 +163,15 @@ mod tests {
         // The whole 2 MiB region around 0x30_1000 translates now.
         let lo = 0x20_0000u64;
         for off in [0u64, 0x1000, 0x1f_f000] {
-            let pa = ept.translate(&mut m.mem, lo + off, false, &mut clock).unwrap();
+            let pa = ept
+                .translate(&mut m.mem, lo + off, false, &mut clock)
+                .unwrap();
             assert_eq!(pa, 0x800_0000 + lo + off);
         }
         // Next 2 MiB still faults.
-        assert!(ept.translate(&mut m.mem, 0x40_0000, false, &mut clock).is_err());
+        assert!(ept
+            .translate(&mut m.mem, 0x40_0000, false, &mut clock)
+            .is_err());
     }
 
     #[test]

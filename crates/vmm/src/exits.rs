@@ -26,13 +26,21 @@ pub struct ExitCosts {
 impl ExitCosts {
     /// Native kernel (RunC): a function call plus APIC MMIO.
     pub fn native(m: &CostModel) -> Self {
-        Self { roundtrip: 260, irq_inject: m.irq_inject, eoi: 40 }
+        Self {
+            roundtrip: 260,
+            irq_inject: m.irq_inject,
+            eoi: 40,
+        }
     }
 
     /// Bare-metal HVM: one VMCS world switch each way.
     pub fn hvm_bm(m: &CostModel) -> Self {
         let roundtrip = m.vm_exit + 400 + m.vm_entry;
-        Self { roundtrip, irq_inject: m.irq_inject + 500, eoi: m.vm_exit + m.vm_entry }
+        Self {
+            roundtrip,
+            irq_inject: m.irq_inject + 500,
+            eoi: m.vm_exit + m.vm_entry,
+        }
     }
 
     /// Nested HVM: every L2 exit bounces through L0 to L1 and back
@@ -53,7 +61,11 @@ impl ExitCosts {
     /// with a small extra in nested from the L1-virtualized CR3 write.
     pub fn pvm(m: &CostModel, nested: bool) -> Self {
         let switch = m.pvm_switch + if nested { 24 } else { 0 };
-        Self { roundtrip: 2 * switch, irq_inject: m.irq_inject + 300, eoi: 2 * switch }
+        Self {
+            roundtrip: 2 * switch,
+            irq_inject: m.irq_inject + 300,
+            eoi: 2 * switch,
+        }
     }
 
     /// CKI: a PKS-gate crossing plus a host context switch, with PTI/IBRS

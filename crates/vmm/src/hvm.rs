@@ -8,15 +8,17 @@
 //! where the L0 hypervisor must emulate a shadow EPT (Figure 10a, §2.4.1).
 
 use guest_os::platform::{Hypercall, MapFault, Platform};
+use obs::CounterId;
 use sim_hw::{Fault, Machine, Tag};
 use sim_mem::addr::pt_index;
-use sim_mem::{pte, MapFlags, FrameAllocator, Phys, Virt, PAGE_SIZE};
+use sim_mem::{pte, FrameAllocator, MapFlags, Phys, Virt, PAGE_SIZE};
 
 use crate::ept::Ept;
 use crate::exits::ExitCosts;
 use crate::virtio::{BlockBackend, NetBackend};
 
-/// HVM-specific statistics.
+/// HVM-specific statistics — a view over the machine's metrics registry
+/// (see [`HvmPlatform::stats`]).
 #[derive(Debug, Default, Clone)]
 pub struct HvmStats {
     /// VM exits taken (all causes).
@@ -25,6 +27,13 @@ pub struct HvmStats {
     pub ept_faults: u64,
     /// Hypercalls serviced.
     pub hypercalls: u64,
+}
+
+/// Dense registry ids for the HVM hot-path counters.
+struct HvmCounterIds {
+    vm_exits: CounterId,
+    ept_faults: CounterId,
+    hypercalls: CounterId,
 }
 
 /// The HVM platform: one VM with an EPT, optionally nested.
@@ -39,8 +48,7 @@ pub struct HvmPlatform {
     /// VirtIO block backend.
     pub block: BlockBackend,
     pcid: u16,
-    /// Statistics.
-    pub stats: HvmStats,
+    ids: HvmCounterIds,
 }
 
 impl HvmPlatform {
@@ -57,7 +65,17 @@ impl HvmPlatform {
             .alloc_contiguous(vm_size / PAGE_SIZE)
             .expect("backing for VM");
         let model = m.cpu.clock.model().clone();
-        let exits = if nested { ExitCosts::hvm_nested(&model) } else { ExitCosts::hvm_bm(&model) };
+        let exits = if nested {
+            ExitCosts::hvm_nested(&model)
+        } else {
+            ExitCosts::hvm_bm(&model)
+        };
+        let label = if nested { "hvm-nst" } else { "hvm" };
+        let ids = HvmCounterIds {
+            vm_exits: m.cpu.metrics.counter_labeled("vmm.vm_exits", Some(label)),
+            ept_faults: m.cpu.metrics.counter_labeled("vmm.ept_faults", Some(label)),
+            hypercalls: m.cpu.metrics.counter_labeled("vmm.hypercalls", Some(label)),
+        };
         Self {
             nested,
             ept: Ept::new(m, base, vm_size),
@@ -66,7 +84,7 @@ impl HvmPlatform {
             net: NetBackend::new(exits).with_mmio_kick(2, 600),
             block: BlockBackend::new(exits),
             pcid: 1,
-            stats: HvmStats::default(),
+            ids,
         }
     }
 
@@ -87,24 +105,40 @@ impl HvmPlatform {
         &self.ept
     }
 
+    /// Reconstructs the [`HvmStats`] view from the machine's registry.
+    pub fn stats(&self, m: &Machine) -> HvmStats {
+        HvmStats {
+            vm_exits: m.cpu.metrics.get(self.ids.vm_exits),
+            ept_faults: m.cpu.metrics.get(self.ids.ept_faults),
+            hypercalls: m.cpu.metrics.get(self.ids.hypercalls),
+        }
+    }
+
     fn handle_ept_fault(&mut self, m: &mut Machine, gpa: Phys) {
-        self.stats.ept_faults += 1;
-        self.stats.vm_exits += 1;
+        m.cpu.metrics.inc(self.ids.ept_faults);
+        m.cpu.metrics.inc(self.ids.vm_exits);
+        let sp = m.cpu.span_enter("vmm.vmexit");
         let model = m.cpu.clock.model().clone();
         if self.nested {
             // L2 EPT violation: L0 intercepts, bounces to L1, which updates
             // its virtual EPT; L0 then rebuilds the shadow EPT — several
             // L0-mediated transitions plus emulation (32.5 µs total path).
-            let transition = model.vm_exit + model.nested_transition
-                + model.vm_entry
-                + model.nested_transition;
+            let transition =
+                model.vm_exit + model.nested_transition + model.vm_entry + model.nested_transition;
             m.cpu.clock.charge(Tag::VmExit, 4 * transition);
+            let w = m.cpu.span_enter("vmm.sept_work");
             m.cpu.clock.charge(Tag::SptEmul, model.sept_emulation_work);
+            m.cpu.span_exit(w);
         } else {
-            m.cpu.clock.charge(Tag::VmExit, model.vm_exit + model.vm_entry);
+            m.cpu
+                .clock
+                .charge(Tag::VmExit, model.vm_exit + model.vm_entry);
+            let w = m.cpu.span_enter("vmm.ept_work");
             m.cpu.clock.charge(Tag::EptFault, model.ept_violation_work);
+            m.cpu.span_exit(w);
         }
         self.ept.map_gpa(m, gpa);
+        m.cpu.span_exit(sp);
     }
 
     /// Walks the guest page table (whose pointers are gPAs) in software.
@@ -138,7 +172,8 @@ impl HvmPlatform {
                 let new_gpa = self.guest_frames.alloc().ok_or(MapFault::OutOfMemory)?;
                 let new_hpa = self.ept.sw_translate(new_gpa);
                 m.mem.zero_frame(new_hpa);
-                m.mem.write_u64(slot_hpa, pte::make(new_gpa, pte::P | pte::W | pte::U));
+                m.mem
+                    .write_u64(slot_hpa, pte::make(new_gpa, pte::P | pte::W | pte::U));
                 table = new_gpa;
             }
         }
@@ -221,7 +256,8 @@ impl Platform for HvmPlatform {
         if pte::present(existing) {
             return Err(MapFault::Rejected("already mapped"));
         }
-        m.mem.write_u64(slot, pte::make(pa, flags.encode() & !pte::ADDR_MASK));
+        m.mem
+            .write_u64(slot, pte::make(pa, flags.encode() & !pte::ADDR_MASK));
         Ok(())
     }
 
@@ -261,8 +297,10 @@ impl Platform for HvmPlatform {
         if !pte::present(old) {
             return Err(MapFault::Rejected("protect of unmapped page"));
         }
-        m.mem
-            .write_u64(slot, pte::make(pte::addr(old), flags.encode() & !pte::ADDR_MASK));
+        m.mem.write_u64(
+            slot,
+            pte::make(pte::addr(old), flags.encode() & !pte::ADDR_MASK),
+        );
         m.cpu.tlb.flush_va(va, self.pcid);
         Ok(())
     }
@@ -317,7 +355,11 @@ impl Platform for HvmPlatform {
         write: bool,
     ) -> Result<(), Fault> {
         debug_assert_eq!(m.cpu.cr3_root(), root);
-        let access = if write { sim_hw::Access::Write } else { sim_hw::Access::Read };
+        let access = if write {
+            sim_hw::Access::Write
+        } else {
+            sim_hw::Access::Read
+        };
         loop {
             let prev = m.cpu.mode;
             m.cpu.mode = sim_hw::Mode::User;
@@ -336,34 +378,49 @@ impl Platform for HvmPlatform {
         // The virtual APIC timer: delivery is cheap with APICv, but
         // re-arming (TSC-deadline wrmsr) exits — and in a nested cloud the
         // exit is L0-mediated.
-        self.stats.vm_exits += 1;
+        m.cpu.metrics.inc(self.ids.vm_exits);
         let model = m.cpu.clock.model().clone();
-        m.cpu.clock.charge(Tag::Sched, model.exception_entry + 300 + model.iret);
+        m.cpu
+            .clock
+            .charge(Tag::Sched, model.exception_entry + 300 + model.iret);
         m.cpu.clock.charge(Tag::VmExit, self.exits.roundtrip);
     }
 
     fn hypercall(&mut self, m: &mut Machine, call: Hypercall) -> u64 {
-        self.stats.hypercalls += 1;
-        self.stats.vm_exits += 1;
+        m.cpu.metrics.inc(self.ids.hypercalls);
+        m.cpu.metrics.inc(self.ids.vm_exits);
         match call {
             Hypercall::NetKick { packets } => {
+                let sp = m.cpu.span_enter("vmm.virtio.kick");
                 self.net.kick(&mut m.cpu.clock, packets);
+                m.cpu.span_exit(sp);
                 0
             }
-            Hypercall::NetPoll => self.net.poll(&mut m.cpu.clock) as u64,
+            Hypercall::NetPoll => {
+                let sp = m.cpu.span_enter("vmm.virtio.poll");
+                let n = self.net.poll(&mut m.cpu.clock) as u64;
+                m.cpu.span_exit(sp);
+                n
+            }
             Hypercall::VcpuHalt => {
+                let sp = m.cpu.span_enter("vmm.virtio.halt");
                 self.net.halt(&mut m.cpu.clock);
+                m.cpu.span_exit(sp);
                 0
             }
             Hypercall::BlockIo { bytes, .. } => {
+                let sp = m.cpu.span_enter("vmm.virtio.block");
                 self.block.submit(&mut m.cpu.clock, bytes);
+                m.cpu.span_exit(sp);
                 0
             }
             Hypercall::SetTimer { .. }
             | Hypercall::SendIpi { .. }
             | Hypercall::ConsoleWrite { .. }
             | Hypercall::Nop => {
+                let sp = m.cpu.span_enter("vmm.vmexit");
                 m.cpu.clock.charge(Tag::VmExit, self.exits.roundtrip);
+                m.cpu.span_exit(sp);
                 0
             }
         }
@@ -389,13 +446,24 @@ mod tests {
         let mark = m.cpu.clock.mark();
         k.syscall(&mut m, Sys::Getpid).unwrap();
         let ns = m.cpu.clock.since_ns(mark);
-        assert!((80.0..110.0).contains(&ns), "HVM getpid = {ns} ns (Table 2: 91 ns)");
+        assert!(
+            (80.0..110.0).contains(&ns),
+            "HVM getpid = {ns} ns (Table 2: 91 ns)"
+        );
     }
 
     #[test]
     fn hvm_bm_pgfault_costs_3us() {
         let (mut k, mut m) = boot(false);
-        let base = k.syscall(&mut m, Sys::Mmap { len: 512 * PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 512 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         let mark = m.cpu.clock.mark();
         k.touch_range(&mut m, base, 512 * PAGE_SIZE, true).unwrap();
         let per = m.cpu.clock.since_ns(mark) / 512.0;
@@ -408,7 +476,15 @@ mod tests {
     #[test]
     fn hvm_nst_pgfault_costs_30us() {
         let (mut k, mut m) = boot(true);
-        let base = k.syscall(&mut m, Sys::Mmap { len: 256 * PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 256 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         let mark = m.cpu.clock.mark();
         k.touch_range(&mut m, base, 256 * PAGE_SIZE, true).unwrap();
         let per = m.cpu.clock.since_ns(mark) / 256.0;
@@ -430,16 +506,28 @@ mod tests {
     #[test]
     fn second_touch_takes_no_ept_fault() {
         let (mut k, mut m) = boot(false);
-        let base = k.syscall(&mut m, Sys::Mmap { len: 4 * PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 4 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         k.touch_range(&mut m, base, 4 * PAGE_SIZE, true).unwrap();
         // The touch faults include guest-table EPT faults; capture then re-touch.
         let faults = {
             let p = k.platform.as_any().downcast_ref::<HvmPlatform>().unwrap();
-            p.stats.ept_faults
+            p.stats(&m).ept_faults
         };
         k.touch_range(&mut m, base, 4 * PAGE_SIZE, true).unwrap();
         let p = k.platform.as_any().downcast_ref::<HvmPlatform>().unwrap();
-        assert_eq!(p.stats.ept_faults, faults, "warm accesses take no EPT faults");
+        assert_eq!(
+            p.stats(&m).ept_faults,
+            faults,
+            "warm accesses take no EPT faults"
+        );
     }
 
     #[test]
@@ -448,13 +536,22 @@ mod tests {
         let p = HvmPlatform::new(&mut m, 256 * 1024 * 1024, false).with_huge_ept(true);
         let mut k = Kernel::boot(Box::new(p), &mut m);
         let pages = 1024u64;
-        let base = k.syscall(&mut m, Sys::Mmap { len: pages * PAGE_SIZE, write: true }).unwrap();
-        k.touch_range(&mut m, base, pages * PAGE_SIZE, true).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: pages * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
+        k.touch_range(&mut m, base, pages * PAGE_SIZE, true)
+            .unwrap();
         let p = k.platform.as_any().downcast_ref::<HvmPlatform>().unwrap();
+        let faults = p.stats(&m).ept_faults;
         assert!(
-            p.stats.ept_faults < pages / 8,
-            "2M EPT: {} faults for {pages} pages",
-            p.stats.ept_faults
+            faults < pages / 8,
+            "2M EPT: {faults} faults for {pages} pages"
         );
     }
 }

@@ -16,13 +16,15 @@
 //!   bare-metal and nested (Table 2).
 
 use guest_os::platform::{Hypercall, MapFault, Platform};
+use obs::CounterId;
 use sim_hw::{Fault, Machine, Tag};
 use sim_mem::{MapFlags, PageTables, Phys, Virt};
 
 use crate::exits::ExitCosts;
 use crate::virtio::{BlockBackend, NetBackend};
 
-/// PVM-specific statistics.
+/// PVM-specific statistics — a view over the machine's metrics registry
+/// (see [`PvmPlatform::stats`]).
 #[derive(Debug, Default, Clone)]
 pub struct PvmStats {
     /// Guest↔host world switches (software "VM exits").
@@ -33,6 +35,14 @@ pub struct PvmStats {
     pub hypercalls: u64,
     /// Syscalls redirected through the host.
     pub redirected_syscalls: u64,
+}
+
+/// Dense registry ids for the PVM hot-path counters.
+struct PvmCounterIds {
+    switches: CounterId,
+    spt_emulations: CounterId,
+    hypercalls: CounterId,
+    redirected_syscalls: CounterId,
 }
 
 /// The PVM platform.
@@ -51,8 +61,7 @@ pub struct PvmPlatform {
     /// the first write to a write-protected gPT page traps and unprotects
     /// it; later writes to the same page are batched until resync.
     unsynced: std::collections::HashSet<(Phys, u64)>,
-    /// Statistics.
-    pub stats: PvmStats,
+    ids: PvmCounterIds,
 }
 
 impl PvmPlatform {
@@ -61,6 +70,22 @@ impl PvmPlatform {
     pub fn new(m: &mut Machine, nested: bool) -> Self {
         let model = m.cpu.clock.model().clone();
         let exits = ExitCosts::pvm(&model, nested);
+        let label = if nested { "pvm-nst" } else { "pvm" };
+        let ids = PvmCounterIds {
+            switches: m
+                .cpu
+                .metrics
+                .counter_labeled("vmm.world_switches", Some(label)),
+            spt_emulations: m
+                .cpu
+                .metrics
+                .counter_labeled("vmm.spt_emulations", Some(label)),
+            hypercalls: m.cpu.metrics.counter_labeled("vmm.hypercalls", Some(label)),
+            redirected_syscalls: m
+                .cpu
+                .metrics
+                .counter_labeled("vmm.redirected_syscalls", Some(label)),
+        };
         Self {
             nested,
             exits,
@@ -69,7 +94,7 @@ impl PvmPlatform {
             pcid: 2,
             in_fault: false,
             unsynced: std::collections::HashSet::new(),
-            stats: PvmStats::default(),
+            ids,
         }
     }
 
@@ -79,20 +104,34 @@ impl PvmPlatform {
         self
     }
 
+    /// Reconstructs the [`PvmStats`] view from the machine's registry.
+    pub fn stats(&self, m: &Machine) -> PvmStats {
+        PvmStats {
+            switches: m.cpu.metrics.get(self.ids.switches),
+            spt_emulations: m.cpu.metrics.get(self.ids.spt_emulations),
+            hypercalls: m.cpu.metrics.get(self.ids.hypercalls),
+            redirected_syscalls: m.cpu.metrics.get(self.ids.redirected_syscalls),
+        }
+    }
+
     /// One guest↔host switch pair (exit + entry), the PVM "VM exit".
     fn world_switch_pair(&mut self, m: &mut Machine) {
-        self.stats.switches += 2;
+        m.cpu.metrics.add(self.ids.switches, 2);
+        let sp = m.cpu.span_enter("vmm.switch");
         let c = m.cpu.clock.model().pvm_switch;
         let extra = if self.nested { 24 } else { 0 };
         m.cpu.clock.charge(Tag::VmExit, 2 * (c + extra));
+        m.cpu.span_exit(sp);
     }
 
     /// The shadow-paging emulation work: gPT walk, gPA→hPA via the VMA
     /// mapping, shadow PTE generation, exception injection.
     fn spt_emulate(&mut self, m: &mut Machine) {
-        self.stats.spt_emulations += 1;
+        m.cpu.metrics.inc(self.ids.spt_emulations);
+        let sp = m.cpu.span_enter("vmm.spt_emul");
         let c = m.cpu.clock.model().spt_emulation_work;
         m.cpu.clock.charge(Tag::SptEmul, c);
+        m.cpu.span_exit(sp);
     }
 
     /// Charges a gPT update outside the fault path. KVM-style out-of-sync
@@ -105,9 +144,11 @@ impl PvmPlatform {
         m.cpu.clock.charge(Tag::Handler, c);
         if self.unsynced.insert(key) {
             self.world_switch_pair(m);
-            self.stats.spt_emulations += 1;
+            m.cpu.metrics.inc(self.ids.spt_emulations);
+            let sp = m.cpu.span_enter("vmm.spt_emul");
             let c = m.cpu.clock.model().spt_emulation_work / 2;
             m.cpu.clock.charge(Tag::SptEmul, c);
+            m.cpu.span_exit(sp);
         }
     }
 }
@@ -254,7 +295,7 @@ impl Platform for PvmPlatform {
         // Trap to host, host switches to the guest-kernel page table and
         // returns to user mode in the guest kernel: one extra mode-switch
         // hop and one extra CR3 switch on the way in.
-        self.stats.redirected_syscalls += 1;
+        m.cpu.metrics.inc(self.ids.redirected_syscalls);
         if m.cpu.mode == sim_hw::Mode::User {
             let _ = m.cpu.syscall_entry();
         }
@@ -299,7 +340,11 @@ impl Platform for PvmPlatform {
     ) -> Result<(), Fault> {
         debug_assert_eq!(m.cpu.cr3_root(), root);
         // The hardware walks the shadow table: single-stage, no EPT.
-        let access = if write { sim_hw::Access::Write } else { sim_hw::Access::Read };
+        let access = if write {
+            sim_hw::Access::Write
+        } else {
+            sim_hw::Access::Read
+        };
         let prev = m.cpu.mode;
         m.cpu.mode = sim_hw::Mode::User;
         let Machine { cpu, mem, .. } = m;
@@ -314,31 +359,46 @@ impl Platform for PvmPlatform {
         // host again: two world-switch pairs around the handler.
         let model = m.cpu.clock.model().clone();
         self.world_switch_pair(m);
-        m.cpu.clock.charge(Tag::Sched, model.exception_entry + 300 + model.iret);
+        m.cpu
+            .clock
+            .charge(Tag::Sched, model.exception_entry + 300 + model.iret);
         self.world_switch_pair(m);
     }
 
     fn hypercall(&mut self, m: &mut Machine, call: Hypercall) -> u64 {
-        self.stats.hypercalls += 1;
+        m.cpu.metrics.inc(self.ids.hypercalls);
         match call {
             Hypercall::NetKick { packets } => {
+                let sp = m.cpu.span_enter("vmm.virtio.kick");
                 self.net.kick(&mut m.cpu.clock, packets);
+                m.cpu.span_exit(sp);
                 0
             }
-            Hypercall::NetPoll => self.net.poll(&mut m.cpu.clock) as u64,
+            Hypercall::NetPoll => {
+                let sp = m.cpu.span_enter("vmm.virtio.poll");
+                let n = self.net.poll(&mut m.cpu.clock) as u64;
+                m.cpu.span_exit(sp);
+                n
+            }
             Hypercall::VcpuHalt => {
+                let sp = m.cpu.span_enter("vmm.virtio.halt");
                 self.net.halt(&mut m.cpu.clock);
+                m.cpu.span_exit(sp);
                 0
             }
             Hypercall::BlockIo { bytes, .. } => {
+                let sp = m.cpu.span_enter("vmm.virtio.block");
                 self.block.submit(&mut m.cpu.clock, bytes);
+                m.cpu.span_exit(sp);
                 0
             }
             Hypercall::SetTimer { .. }
             | Hypercall::SendIpi { .. }
             | Hypercall::ConsoleWrite { .. }
             | Hypercall::Nop => {
+                let sp = m.cpu.span_enter("vmm.switch");
                 m.cpu.clock.charge(Tag::VmExit, self.exits.roundtrip);
+                m.cpu.span_exit(sp);
                 0
             }
         }
@@ -365,13 +425,24 @@ mod tests {
         let mark = m.cpu.clock.mark();
         k.syscall(&mut m, Sys::Getpid).unwrap();
         let ns = m.cpu.clock.since_ns(mark);
-        assert!((300.0..380.0).contains(&ns), "PVM getpid = {ns} ns (Table 2: 336 ns)");
+        assert!(
+            (300.0..380.0).contains(&ns),
+            "PVM getpid = {ns} ns (Table 2: 336 ns)"
+        );
     }
 
     #[test]
     fn pvm_pgfault_costs_4_4us() {
         let (mut k, mut m) = boot(false);
-        let base = k.syscall(&mut m, Sys::Mmap { len: 512 * PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 512 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         let mark = m.cpu.clock.mark();
         k.touch_range(&mut m, base, 512 * PAGE_SIZE, true).unwrap();
         let per = m.cpu.clock.since_ns(mark) / 512.0;
@@ -387,7 +458,10 @@ mod tests {
         let mark = m.cpu.clock.mark();
         k.platform.hypercall(&mut m, Hypercall::Nop);
         let ns = m.cpu.clock.since_ns(mark);
-        assert!((430.0..520.0).contains(&ns), "PVM hypercall = {ns} ns (Table 2: 466)");
+        assert!(
+            (430.0..520.0).contains(&ns),
+            "PVM hypercall = {ns} ns (Table 2: 466)"
+        );
     }
 
     #[test]
@@ -400,19 +474,42 @@ mod tests {
         let mark_nst = m_nst.cpu.clock.mark();
         k_nst.platform.hypercall(&mut m_nst, Hypercall::Nop);
         let nst = m_nst.cpu.clock.since_ns(mark_nst);
-        assert!(nst > bm && nst < bm * 1.2, "PVM nested ≈ bare-metal: {bm} vs {nst}");
+        assert!(
+            nst > bm && nst < bm * 1.2,
+            "PVM nested ≈ bare-metal: {bm} vs {nst}"
+        );
     }
 
     #[test]
     fn pgfault_breakdown_has_three_components() {
         let (mut k, mut m) = boot(false);
-        let base = k.syscall(&mut m, Sys::Mmap { len: 64 * PAGE_SIZE, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: 64 * PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
         m.cpu.clock.reset_tags();
         k.touch_range(&mut m, base, 64 * PAGE_SIZE, true).unwrap();
         let per_fault = |t| m.cpu.clock.tagged_ns(t) / 64.0;
         // Figure 10a: VM exits 1 532 ns, SPT emulation 1 828 ns, handler ~1 065 ns.
-        assert!((1200.0..1800.0).contains(&per_fault(Tag::VmExit)), "{}", per_fault(Tag::VmExit));
-        assert!((1500.0..2200.0).contains(&per_fault(Tag::SptEmul)), "{}", per_fault(Tag::SptEmul));
-        assert!((800.0..1400.0).contains(&per_fault(Tag::Handler)), "{}", per_fault(Tag::Handler));
+        assert!(
+            (1200.0..1800.0).contains(&per_fault(Tag::VmExit)),
+            "{}",
+            per_fault(Tag::VmExit)
+        );
+        assert!(
+            (1500.0..2200.0).contains(&per_fault(Tag::SptEmul)),
+            "{}",
+            per_fault(Tag::SptEmul)
+        );
+        assert!(
+            (800.0..1400.0).contains(&per_fault(Tag::Handler)),
+            "{}",
+            per_fault(Tag::Handler)
+        );
     }
 }

@@ -81,7 +81,11 @@ impl NetBackend {
 
     /// In-place variant of [`NetBackend::with_clients`].
     pub fn set_clients(&mut self, clients: u32) {
-        self.load = if clients == 0 { None } else { Some(LoadGen::new(clients)) };
+        self.load = if clients == 0 {
+            None
+        } else {
+            Some(LoadGen::new(clients))
+        };
     }
 
     /// Guest kicked the TX queue announcing `packets` responses.
@@ -97,7 +101,10 @@ impl NetBackend {
             self.kick_mmio as u64 * self.exits.roundtrip
                 + self.kick_mmio as u64 * self.mmio_emulation,
         );
-        clock.charge(Tag::Io, m.virtio_process + m.net_packet * packets as u64 / 4);
+        clock.charge(
+            Tag::Io,
+            m.virtio_process + m.net_packet * packets as u64 / 4,
+        );
         // TX completion interrupt + EOI.
         self.stats.irqs += 1;
         clock.charge(Tag::Io, self.exits.irq_inject);
@@ -157,7 +164,11 @@ pub struct BlockBackend {
 impl BlockBackend {
     /// Creates a block backend.
     pub fn new(exits: ExitCosts) -> Self {
-        Self { exits, device_cycles: 48_000, requests: 0 }
+        Self {
+            exits,
+            device_cycles: 48_000,
+            requests: 0,
+        }
     }
 
     /// Submits one request of `bytes` bytes.
@@ -165,7 +176,10 @@ impl BlockBackend {
         self.requests += 1;
         let m = clock.model().clone();
         clock.charge(Tag::VmExit, self.exits.roundtrip);
-        clock.charge(Tag::Io, m.virtio_process + bytes as u64 * m.copy_per_byte_x100 / 100);
+        clock.charge(
+            Tag::Io,
+            m.virtio_process + bytes as u64 * m.copy_per_byte_x100 / 100,
+        );
         clock.charge(Tag::Io, self.device_cycles);
         clock.charge(Tag::Io, self.exits.irq_inject);
         clock.charge(Tag::VmExit, self.exits.eoi);

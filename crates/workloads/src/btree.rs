@@ -9,8 +9,7 @@
 //! decreases as the lookup/insert ratio increases" (§7.2).
 
 use guest_os::{Env, Errno};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use obs::rng::SmallRng;
 
 use crate::report::{Probe, Report};
 
@@ -83,7 +82,11 @@ impl BTreeWorkload {
         env.touch(va, true)?;
         self.nodes.push(Node {
             keys: Vec::with_capacity(NODE_KEYS),
-            children: if leaf { Vec::new() } else { Vec::with_capacity(NODE_KEYS + 1) },
+            children: if leaf {
+                Vec::new()
+            } else {
+                Vec::with_capacity(NODE_KEYS + 1)
+            },
             va,
         });
         Ok(self.nodes.len() - 1)

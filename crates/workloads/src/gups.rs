@@ -6,8 +6,7 @@
 //! gap the paper reports.
 
 use guest_os::{Env, Errno};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use obs::rng::SmallRng;
 
 use crate::report::{Probe, Report};
 
@@ -24,7 +23,11 @@ pub struct GupsWorkload {
 impl GupsWorkload {
     /// Creates a GUPS run.
     pub fn new(table_bytes: u64, updates: u64) -> Self {
-        Self { table_bytes, updates, seed: 1 }
+        Self {
+            table_bytes,
+            updates,
+            seed: 1,
+        }
     }
 
     /// Runs: populate the table (faults), then the timed update loop.
@@ -63,6 +66,9 @@ mod tests {
         assert_eq!(r.pgfaults, 0, "populated before timing");
         let walks = env.machine.cpu.page_walks() - walks_before;
         // 64 MiB table vs ~12 MiB TLB reach: most updates walk.
-        assert!(walks > 10_000, "TLB-miss-bound: {walks} walks for 20k updates");
+        assert!(
+            walks > 10_000,
+            "TLB-miss-bound: {walks} walks for 20k updates"
+        );
     }
 }

@@ -73,44 +73,102 @@ impl IoWorkload {
         let buf = env.mmap(64 * 1024)?;
         env.touch_range(buf, 64 * 1024, true)?;
         // The served file, warmed into the page cache.
-        let file = env.sys(Sys::Open { path: "/www/index.html", create: true, trunc: true })? as Fd;
-        env.sys(Sys::Write { fd: file, buf, len: 8192 })?;
+        let file = env.sys(Sys::Open {
+            path: "/www/index.html",
+            create: true,
+            trunc: true,
+        })? as Fd;
+        env.sys(Sys::Write {
+            fd: file,
+            buf,
+            len: 8192,
+        })?;
 
         let probe = Probe::start(env);
         match self.case {
             IoCase::NginxStatic => {
                 for _ in 0..self.requests {
-                    env.sys(Sys::NetRecv { fd: sock, buf, len: 200 })?;
+                    env.sys(Sys::NetRecv {
+                        fd: sock,
+                        buf,
+                        len: 200,
+                    })?;
                     env.compute(2200); // parse + route
-                    env.sys(Sys::Stat { path: "/www/index.html" })?;
-                    env.sys(Sys::Pread { fd: file, buf, len: 8192, offset: 0 })?;
-                    env.sys(Sys::NetSend { fd: sock, buf, len: 8192 })?;
+                    env.sys(Sys::Stat {
+                        path: "/www/index.html",
+                    })?;
+                    env.sys(Sys::Pread {
+                        fd: file,
+                        buf,
+                        len: 8192,
+                        offset: 0,
+                    })?;
+                    env.sys(Sys::NetSend {
+                        fd: sock,
+                        buf,
+                        len: 8192,
+                    })?;
                 }
             }
             IoCase::NginxProxy => {
                 for _ in 0..self.requests {
-                    env.sys(Sys::NetRecv { fd: sock, buf, len: 200 })?;
+                    env.sys(Sys::NetRecv {
+                        fd: sock,
+                        buf,
+                        len: 200,
+                    })?;
                     env.compute(2600);
                     // Upstream leg: send the request on, receive the body.
-                    env.sys(Sys::NetSend { fd: sock, buf, len: 220 })?;
-                    env.sys(Sys::NetRecv { fd: sock, buf, len: 8192 })?;
+                    env.sys(Sys::NetSend {
+                        fd: sock,
+                        buf,
+                        len: 220,
+                    })?;
+                    env.sys(Sys::NetRecv {
+                        fd: sock,
+                        buf,
+                        len: 8192,
+                    })?;
                     env.compute(900);
-                    env.sys(Sys::NetSend { fd: sock, buf, len: 8192 })?;
+                    env.sys(Sys::NetSend {
+                        fd: sock,
+                        buf,
+                        len: 8192,
+                    })?;
                 }
             }
             IoCase::Httpd => {
                 for _ in 0..self.requests {
-                    env.sys(Sys::NetRecv { fd: sock, buf, len: 200 })?;
+                    env.sys(Sys::NetRecv {
+                        fd: sock,
+                        buf,
+                        len: 200,
+                    })?;
                     env.compute(7800); // per-request mpm + filter chain
-                    env.sys(Sys::Stat { path: "/www/index.html" })?;
-                    env.sys(Sys::Pread { fd: file, buf, len: 8192, offset: 0 })?;
-                    env.sys(Sys::NetSend { fd: sock, buf, len: 8192 })?;
+                    env.sys(Sys::Stat {
+                        path: "/www/index.html",
+                    })?;
+                    env.sys(Sys::Pread {
+                        fd: file,
+                        buf,
+                        len: 8192,
+                        offset: 0,
+                    })?;
+                    env.sys(Sys::NetSend {
+                        fd: sock,
+                        buf,
+                        len: 8192,
+                    })?;
                 }
             }
             IoCase::NetperfTx => {
                 // Bulk streaming: one 16 KiB send per window, flush every 4.
                 for i in 0..self.requests {
-                    env.sys(Sys::NetSend { fd: sock, buf, len: 16 * 1024 })?;
+                    env.sys(Sys::NetSend {
+                        fd: sock,
+                        buf,
+                        len: 16 * 1024,
+                    })?;
                     env.compute(300);
                     if i % 4 == 3 {
                         env.sys(Sys::NetFlush { fd: sock })?;
@@ -119,9 +177,17 @@ impl IoWorkload {
             }
             IoCase::NetperfRr => {
                 for _ in 0..self.requests {
-                    env.sys(Sys::NetRecv { fd: sock, buf, len: 1 })?;
+                    env.sys(Sys::NetRecv {
+                        fd: sock,
+                        buf,
+                        len: 1,
+                    })?;
                     env.compute(120);
-                    env.sys(Sys::NetSend { fd: sock, buf, len: 1 })?;
+                    env.sys(Sys::NetSend {
+                        fd: sock,
+                        buf,
+                        len: 1,
+                    })?;
                 }
             }
         }
@@ -162,12 +228,16 @@ mod tests {
         let p = HvmPlatform::new(&mut m, 256 * 1024 * 1024, true).with_clients(1);
         let mut k = Kernel::boot(Box::new(p), &mut m);
         let mut env = Env::new(&mut k, &mut m);
-        let nst = IoWorkload::new(IoCase::NetperfRr, 500).run(&mut env).unwrap();
+        let nst = IoWorkload::new(IoCase::NetperfRr, 500)
+            .run(&mut env)
+            .unwrap();
         let mut m2 = Machine::new(1024 * 1024 * 1024, HwExtensions::baseline());
         let p2 = PvmPlatform::new(&mut m2, true).with_clients(1);
         let mut k2 = Kernel::boot(Box::new(p2), &mut m2);
         let mut env2 = Env::new(&mut k2, &mut m2);
-        let pvm = IoWorkload::new(IoCase::NetperfRr, 500).run(&mut env2).unwrap();
+        let pvm = IoWorkload::new(IoCase::NetperfRr, 500)
+            .run(&mut env2)
+            .unwrap();
         assert!(
             pvm.ops_per_sec() > 1.8 * nst.ops_per_sec(),
             "PVM {} vs HVM-NST {} (paper: 1.8×-4.3×)",

@@ -14,8 +14,7 @@
 use std::collections::HashMap;
 
 use guest_os::{Env, Errno, Fd, Sys};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use obs::rng::SmallRng;
 
 use crate::report::{Probe, Report};
 
@@ -62,7 +61,12 @@ pub struct KvServerWorkload {
 impl KvServerWorkload {
     /// Creates a server run.
     pub fn new(kind: KvKind, requests: u64) -> Self {
-        Self { kind, requests, value_bytes: 500, seed: 23 }
+        Self {
+            kind,
+            requests,
+            value_bytes: 500,
+            seed: 23,
+        }
     }
 
     /// Runs the event loop until `requests` requests are served.
@@ -82,7 +86,11 @@ impl KvServerWorkload {
         let probe = Probe::start(env);
         let mut served = 0u64;
         while served < self.requests {
-            env.sys(Sys::NetRecv { fd: sock, buf, len: self.value_bytes + 40 })?;
+            env.sys(Sys::NetRecv {
+                fd: sock,
+                buf,
+                len: self.value_bytes + 40,
+            })?;
             env.compute(self.kind.engine_cycles());
             let key = rng.gen_range(0..100_000u64);
             let write = rng.gen_bool(0.5); // memtier 1:1 ratio
@@ -97,11 +105,15 @@ impl KvServerWorkload {
             } else if let Some(&slot) = index.get(&key) {
                 env.touch(store + slot, false)?;
             }
-            env.sys(Sys::NetSend { fd: sock, buf, len: self.value_bytes + 16 })?;
+            env.sys(Sys::NetSend {
+                fd: sock,
+                buf,
+                len: self.value_bytes + 16,
+            })?;
             served += 1;
             // Event loops flush the TX queue every few connections, not
             // once per RX batch — each flush is a doorbell kick.
-            if served % 4 == 0 {
+            if served.is_multiple_of(4) {
                 env.sys(Sys::NetFlush { fd: sock })?;
             }
         }

@@ -70,26 +70,48 @@ pub fn run_case(env: &mut Env<'_>, case: LmCase, iters: u64) -> Result<Report, E
         LmCase::Read => {
             let buf = env.mmap(4096)?;
             env.touch(buf, true)?;
-            let fd = env.sys(Sys::Open { path: "/lm/read", create: true, trunc: false })? as Fd;
+            let fd = env.sys(Sys::Open {
+                path: "/lm/read",
+                create: true,
+                trunc: false,
+            })? as Fd;
             env.sys(Sys::Write { fd, buf, len: 4096 })?;
             let probe = Probe::start(env);
             for _ in 0..iters {
-                env.sys(Sys::Pread { fd, buf, len: 1, offset: 0 })?;
+                env.sys(Sys::Pread {
+                    fd,
+                    buf,
+                    len: 1,
+                    offset: 0,
+                })?;
             }
             Ok(probe.finish(env, case.name(), iters))
         }
         LmCase::Write => {
             let buf = env.mmap(4096)?;
             env.touch(buf, true)?;
-            let fd = env.sys(Sys::Open { path: "/lm/write", create: true, trunc: false })? as Fd;
+            let fd = env.sys(Sys::Open {
+                path: "/lm/write",
+                create: true,
+                trunc: false,
+            })? as Fd;
             let probe = Probe::start(env);
             for _ in 0..iters {
-                env.sys(Sys::Pwrite { fd, buf, len: 1, offset: 0 })?;
+                env.sys(Sys::Pwrite {
+                    fd,
+                    buf,
+                    len: 1,
+                    offset: 0,
+                })?;
             }
             Ok(probe.finish(env, case.name(), iters))
         }
         LmCase::Stat => {
-            env.sys(Sys::Open { path: "/lm/stat", create: true, trunc: false })?;
+            env.sys(Sys::Open {
+                path: "/lm/stat",
+                create: true,
+                trunc: false,
+            })?;
             let probe = Probe::start(env);
             for _ in 0..iters {
                 env.sys(Sys::Stat { path: "/lm/stat" })?;
@@ -99,7 +121,11 @@ pub fn run_case(env: &mut Env<'_>, case: LmCase, iters: u64) -> Result<Report, E
         LmCase::ProtFault => {
             let page = env.mmap(4096)?;
             env.touch(page, true)?;
-            env.sys(Sys::Mprotect { addr: page, len: 4096, write: false })?;
+            env.sys(Sys::Mprotect {
+                addr: page,
+                len: 4096,
+                write: false,
+            })?;
             let probe = Probe::start(env);
             for _ in 0..iters {
                 // Each write raises the protection fault + signal path.
@@ -114,7 +140,10 @@ pub fn run_case(env: &mut Env<'_>, case: LmCase, iters: u64) -> Result<Report, E
             // sees guest soft faults, not first-touch EPT/backing faults.
             let warm = env.mmap(iters * 4096)?;
             env.touch_range(warm, iters * 4096, true)?;
-            env.sys(Sys::Munmap { addr: warm, len: iters * 4096 })?;
+            env.sys(Sys::Munmap {
+                addr: warm,
+                len: iters * 4096,
+            })?;
             let region = env.mmap(iters * 4096)?;
             let probe = Probe::start(env);
             for i in 0..iters {
@@ -198,10 +227,17 @@ mod tests {
         let mut k = Kernel::boot(Box::new(NativePlatform::new(1)), &mut m);
         let mut env = Env::new(&mut k, &mut m);
         let read = run_case(&mut env, LmCase::Read, 200).unwrap().ns_per_op();
-        let pf = run_case(&mut env, LmCase::PageFault, 200).unwrap().ns_per_op();
-        let fork = run_case(&mut env, LmCase::ForkExit, 20).unwrap().ns_per_op();
+        let pf = run_case(&mut env, LmCase::PageFault, 200)
+            .unwrap()
+            .ns_per_op();
+        let fork = run_case(&mut env, LmCase::ForkExit, 20)
+            .unwrap()
+            .ns_per_op();
         assert!(read < pf, "read {read} < pagefault {pf}");
         assert!(pf < fork, "pagefault {pf} < fork {fork}");
-        assert!((700.0..1500.0).contains(&pf), "native pagefault ≈ 1 µs: {pf}");
+        assert!(
+            (700.0..1500.0).contains(&pf),
+            "native pagefault ≈ 1 µs: {pf}"
+        );
     }
 }

@@ -12,8 +12,7 @@
 //! - **freqmine**: FP-growth-style tree construction and traversal.
 
 use guest_os::{Env, Errno};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use obs::rng::SmallRng;
 
 use crate::report::{Probe, Report};
 
@@ -57,7 +56,12 @@ pub struct ParsecWorkload {
 impl ParsecWorkload {
     /// Creates a kernel at the given scale.
     pub fn new(kind: ParsecKind, scale_bytes: u64, iterations: u64) -> Self {
-        Self { kind, scale_bytes, iterations, seed: 11 }
+        Self {
+            kind,
+            scale_bytes,
+            iterations,
+            seed: 11,
+        }
     }
 
     /// Runs the kernel.
@@ -109,7 +113,7 @@ impl ParsecWorkload {
             let buf = env.mmap(chunk)?;
             env.touch_range(buf, chunk, true)?;
             env.compute(chunk * 6); // SHA1-class hashing per byte
-            // Dedup table probes.
+                                    // Dedup table probes.
             for _ in 0..4 {
                 let off = rng.gen_range(0..self.scale_bytes / 4 / 64) * 64;
                 env.touch(table + off, true)?;
@@ -117,7 +121,10 @@ impl ParsecWorkload {
             }
             // Window retired; unmap every few windows (memory churn).
             if i % 4 == 3 {
-                env.sys(guest_os::Sys::Munmap { addr: buf, len: chunk })?;
+                env.sys(guest_os::Sys::Munmap {
+                    addr: buf,
+                    len: chunk,
+                })?;
             }
         }
         Ok(probe.finish(env, "dedup", self.iterations))
@@ -187,7 +194,9 @@ mod tests {
         let mut m = Machine::new(1024 * 1024 * 1024, HwExtensions::baseline());
         let mut k = Kernel::boot(Box::new(NativePlatform::new(1)), &mut m);
         let mut env = Env::new(&mut k, &mut m);
-        ParsecWorkload::new(kind, 8 * 1024 * 1024, 400).run(&mut env).unwrap()
+        ParsecWorkload::new(kind, 8 * 1024 * 1024, 400)
+            .run(&mut env)
+            .unwrap()
     }
 
     #[test]

@@ -49,11 +49,11 @@ impl Report {
     }
 }
 
-/// Captures kernel counters around a measured region.
+/// Captures kernel counters around a measured region, as a delta between
+/// two [`obs::MetricsSnapshot`]s of the kernel's registry.
 pub struct Probe {
     mark_cycles: u64,
-    syscalls: u64,
-    pgfaults: u64,
+    before: obs::MetricsSnapshot,
 }
 
 impl Probe {
@@ -61,19 +61,19 @@ impl Probe {
     pub fn start(env: &guest_os::Env<'_>) -> Self {
         Self {
             mark_cycles: env.machine.cpu.clock.mark(),
-            syscalls: env.kernel.stats.syscalls,
-            pgfaults: env.kernel.stats.pgfaults,
+            before: env.kernel.metrics.snapshot(),
         }
     }
 
     /// Finishes the probe into a [`Report`].
     pub fn finish(self, env: &guest_os::Env<'_>, name: &str, ops: u64) -> Report {
+        let delta = env.kernel.metrics.snapshot().delta(&self.before);
         Report {
             name: name.to_owned(),
             ops,
             ns: env.machine.cpu.clock.since_ns(self.mark_cycles),
-            syscalls: env.kernel.stats.syscalls - self.syscalls,
-            pgfaults: env.kernel.stats.pgfaults - self.pgfaults,
+            syscalls: delta.get("os.syscalls"),
+            pgfaults: delta.get("os.pgfaults"),
         }
     }
 }
@@ -84,7 +84,13 @@ mod tests {
 
     #[test]
     fn rates() {
-        let r = Report { name: "x".into(), ops: 1000, ns: 2e9, syscalls: 500, pgfaults: 0 };
+        let r = Report {
+            name: "x".into(),
+            ops: 1000,
+            ns: 2e9,
+            syscalls: 500,
+            pgfaults: 0,
+        };
         assert_eq!(r.ns_per_op(), 2e6);
         assert_eq!(r.ops_per_sec(), 500.0);
         assert_eq!(r.syscall_rate(), 250.0);

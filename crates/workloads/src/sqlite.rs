@@ -14,8 +14,7 @@
 //!   `pread` — the syscall-light cases where all backends converge.
 
 use guest_os::{Env, Errno, Fd, Sys};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use obs::rng::SmallRng;
 
 use crate::report::{Probe, Report};
 
@@ -101,7 +100,11 @@ impl SqliteWorkload {
     pub fn run(&mut self, env: &mut Env<'_>, case: SqliteCase) -> Result<Report, Errno> {
         let buf = env.mmap(64 * 1024)?;
         env.touch_range(buf, 64 * 1024, true)?;
-        let db = env.sys(Sys::Open { path: "/db/bench.sqlite", create: true, trunc: true })? as Fd;
+        let db = env.sys(Sys::Open {
+            path: "/db/bench.sqlite",
+            create: true,
+            trunc: true,
+        })? as Fd;
 
         if !case.is_write() {
             // Pre-populate with a batched fill so reads have data.
@@ -139,11 +142,19 @@ impl SqliteWorkload {
         let mut row: u64 = 0;
         // journal_mode=PERSIST: the journal file is opened once and its
         // header invalidated per commit instead of create/unlink cycles.
-        let j = env.sys(Sys::Open { path: "/db/bench.sqlite-journal", create: true, trunc: true })?
-            as Fd;
+        let j = env.sys(Sys::Open {
+            path: "/db/bench.sqlite-journal",
+            create: true,
+            trunc: true,
+        })? as Fd;
         while row < ops {
             // BEGIN: write the journal header.
-            env.sys(Sys::Pwrite { fd: j, buf, len: 512, offset: 0 })?;
+            env.sys(Sys::Pwrite {
+                fd: j,
+                buf,
+                len: 512,
+                offset: 0,
+            })?;
             let this_batch = batch.min(ops - row);
             let mut dirty_pages = 0u64;
             for i in 0..this_batch {
@@ -167,7 +178,12 @@ impl SqliteWorkload {
             // journal header (PERSIST mode).
             env.sys(Sys::Fsync { fd: j })?;
             for p in 0..dirty_pages {
-                env.sys(Sys::Pwrite { fd: db, buf, len: page, offset: p * page as u64 })?;
+                env.sys(Sys::Pwrite {
+                    fd: db,
+                    buf,
+                    len: page,
+                    offset: p * page as u64,
+                })?;
             }
             env.sys(Sys::Fsync { fd: db })?;
             env.compute(COMMIT_COMPUTE);
@@ -197,8 +213,17 @@ impl SqliteWorkload {
                 i % 35 == 0
             };
             if miss {
-                let offset = if random { rng.gen_range(0..256) * 4096 } else { (i / 35) * 4096 };
-                env.sys(Sys::Pread { fd: db, buf, len: 4096, offset })?;
+                let offset = if random {
+                    rng.gen_range(0..256) * 4096
+                } else {
+                    (i / 35) * 4096
+                };
+                env.sys(Sys::Pread {
+                    fd: db,
+                    buf,
+                    len: 4096,
+                    offset,
+                })?;
             }
         }
         Ok(())
@@ -220,7 +245,11 @@ pub struct SqliteBlkWorkload {
 impl SqliteBlkWorkload {
     /// Creates a block-device-backed run.
     pub fn new(ops: u64) -> Self {
-        Self { ops, cache_blocks: 64, seed: 29 }
+        Self {
+            ops,
+            cache_blocks: 64,
+            seed: 29,
+        }
     }
 
     /// Runs one case against a freshly formatted block filesystem.
@@ -267,12 +296,12 @@ impl SqliteBlkWorkload {
                     }
                     fs.sync(env)?;
                     for p in 0..dirty {
-                        let page = if case == SqliteCase::FillSeq || case == SqliteCase::FillSeqBatch
-                        {
-                            (row / 14 + p) % 16 * 1024
-                        } else {
-                            rng.gen_range(0..1024u64)
-                        };
+                        let page =
+                            if case == SqliteCase::FillSeq || case == SqliteCase::FillSeqBatch {
+                                (row / 14 + p) % 16 * 1024
+                            } else {
+                                rng.gen_range(0..1024u64)
+                            };
                         fs.write(env, "/db", page % 1024 * BLOCK_SIZE as u64, BLOCK_SIZE)?;
                     }
                     fs.sync(env)?;
@@ -304,7 +333,10 @@ mod tests {
         let fillbatch = run(SqliteCase::FillSeqBatch, 500);
         let per_op_seq = fillseq.syscalls as f64 / fillseq.ops as f64;
         let per_op_batch = fillbatch.syscalls as f64 / fillbatch.ops as f64;
-        assert!(per_op_seq > 5.0, "auto-commit journals per row: {per_op_seq}");
+        assert!(
+            per_op_seq > 5.0,
+            "auto-commit journals per row: {per_op_seq}"
+        );
         assert!(per_op_batch < 0.5, "batched amortizes: {per_op_batch}");
     }
 
@@ -329,11 +361,15 @@ mod tests {
         let mut m = Machine::new(1024 * 1024 * 1024, HwExtensions::baseline());
         let mut k = Kernel::boot(Box::new(NativePlatform::new(1)), &mut m);
         let mut env = Env::new(&mut k, &mut m);
-        let blk = SqliteBlkWorkload::new(200).run(&mut env, SqliteCase::FillSeq).unwrap();
+        let blk = SqliteBlkWorkload::new(200)
+            .run(&mut env, SqliteCase::FillSeq)
+            .unwrap();
         let mut m2 = Machine::new(1024 * 1024 * 1024, HwExtensions::baseline());
         let mut k2 = Kernel::boot(Box::new(NativePlatform::new(1)), &mut m2);
         let mut env2 = Env::new(&mut k2, &mut m2);
-        let tmp = SqliteWorkload::new(200).run(&mut env2, SqliteCase::FillSeq).unwrap();
+        let tmp = SqliteWorkload::new(200)
+            .run(&mut env2, SqliteCase::FillSeq)
+            .unwrap();
         assert!(
             blk.ns_per_op() > 3.0 * tmp.ns_per_op(),
             "device latency dominates: blk {} vs tmpfs {}",

@@ -8,8 +8,7 @@
 //! shorter (fewer particles)" (§7.2) — the particle count is the knob.
 
 use guest_os::{Env, Errno};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use obs::rng::SmallRng;
 
 use crate::report::{Probe, Report};
 
@@ -28,7 +27,12 @@ pub struct XsBenchWorkload {
 impl XsBenchWorkload {
     /// Creates a run with `grid_bytes` of generated data and `particles`.
     pub fn new(grid_bytes: u64, particles: u64) -> Self {
-        Self { grid_bytes, particles, lookups_per_particle: 8, seed: 3 }
+        Self {
+            grid_bytes,
+            particles,
+            lookups_per_particle: 8,
+            seed: 3,
+        }
     }
 
     /// Runs both phases; the report covers the whole program (like the
@@ -69,13 +73,19 @@ mod tests {
         let mut m = Machine::new(1024 * 1024 * 1024, HwExtensions::baseline());
         let mut k = Kernel::boot(Box::new(NativePlatform::new(1)), &mut m);
         let mut env = Env::new(&mut k, &mut m);
-        XsBenchWorkload::new(16 * 1024 * 1024, particles).run(&mut env).unwrap()
+        XsBenchWorkload::new(16 * 1024 * 1024, particles)
+            .run(&mut env)
+            .unwrap()
     }
 
     #[test]
     fn generation_faults_scale_with_grid() {
         let r = run_with(100);
-        assert!(r.pgfaults >= 4096, "one fault per generated page: {}", r.pgfaults);
+        assert!(
+            r.pgfaults >= 4096,
+            "one fault per generated page: {}",
+            r.pgfaults
+        );
     }
 
     #[test]

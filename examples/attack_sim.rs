@@ -21,7 +21,9 @@ fn main() {
         let base = env.mmap(4096).expect("mmap");
         env.touch(base, true).expect("touch");
     }
-    let Stack { machine: m, kernel, .. } = &mut stack;
+    let Stack {
+        machine: m, kernel, ..
+    } = &mut stack;
     let root = kernel.proc(1).aspace.root;
     let platform = kernel
         .platform
@@ -38,12 +40,23 @@ fn main() {
 
     println!("== Attack 1: execute destructive privileged instructions ==");
     for instr in [
-        Instr::Wrmsr { msr: 0x10, value: 0xdead },
+        Instr::Wrmsr {
+            msr: 0x10,
+            value: 0xdead,
+        },
         Instr::Lidt { base: 0xbad0_0000 },
-        Instr::WriteCr3 { value: 0xbad0_0000, preserve_tlb: false },
+        Instr::WriteCr3 {
+            value: 0xbad0_0000,
+            preserve_tlb: false,
+        },
         Instr::Cli,
-        Instr::Invpcid { mode: InvpcidMode::AllContexts },
-        Instr::OutPort { port: 0x64, value: 0xfe }, // keyboard-controller reset
+        Instr::Invpcid {
+            mode: InvpcidMode::AllContexts,
+        },
+        Instr::OutPort {
+            port: 0x64,
+            value: 0xfe,
+        }, // keyboard-controller reset
     ] {
         attempted += 1;
         match m.cpu.exec(&mut m.mem, instr) {
@@ -73,7 +86,9 @@ fn main() {
         foreign_pa,
         cki::sim_mem::pte::P | cki::sim_mem::pte::W | cki::sim_mem::pte::U | cki::sim_mem::pte::NX,
     );
-    let r = gates::ksm_call(m, &mut platform.ksm, |m, k| k.update_pte(m, root, 0, evil_pte));
+    let r = gates::ksm_call(m, &mut platform.ksm, |m, k| {
+        k.update_pte(m, root, 0, evil_pte)
+    });
     match r {
         Ok(Err(e)) => {
             caught += 1;
@@ -84,9 +99,13 @@ fn main() {
 
     println!("\n== Attack 4: ROP into the tail wrpkrs of the KSM gate ==");
     attempted += 1;
-    let r = gates::ksm_call_from(m, &mut platform.ksm, gates::GateEntry::TailWrpkrs, 0, |_m, _k| {
-        Ok::<u64, cki_core::KsmError>(0)
-    });
+    let r = gates::ksm_call_from(
+        m,
+        &mut platform.ksm,
+        gates::GateEntry::TailWrpkrs,
+        0,
+        |_m, _k| Ok::<u64, cki_core::KsmError>(0),
+    );
     match r {
         Err(gates::GateAbort::PksCheckFailed) => {
             caught += 1;
@@ -97,20 +116,32 @@ fn main() {
 
     println!("\n== Attack 5: forge a hardware interrupt (jump to the gate) ==");
     attempted += 1;
-    let fake = IretFrame { rip: 0, user_mode: false, if_flag: true, rsp: 0, pkrs: 0 };
+    let fake = IretFrame {
+        rip: 0,
+        user_mode: false,
+        if_flag: true,
+        rsp: 0,
+        pkrs: 0,
+    };
     let mut host_saw_it = false;
     let r = gates::interrupt_gate(m, fake, cki_core::ksm::VEC_VIRTIO, |_m| host_saw_it = true);
     match r {
         Err(gates::GateAbort::Fault(Fault::PkViolation { .. })) if !host_saw_it => {
             caught += 1;
-            println!("  direct jump to interrupt gate -> PK fault on per-vCPU store; host never saw it");
+            println!(
+                "  direct jump to interrupt gate -> PK fault on per-vCPU store; host never saw it"
+            );
         }
-        other => println!("  interrupt forgery -> NOT BLOCKED: {other:?} (host_saw_it={host_saw_it})"),
+        other => {
+            println!("  interrupt forgery -> NOT BLOCKED: {other:?} (host_saw_it={host_saw_it})")
+        }
     }
 
     println!("\n== Attack 6: disable interrupts via sysret (DoS) ==");
     attempted += 1;
-    m.cpu.exec(&mut m.mem, Instr::Sysret { restore_if: false }).expect("sysret");
+    m.cpu
+        .exec(&mut m.mem, Instr::Sysret { restore_if: false })
+        .expect("sysret");
     if m.cpu.rflags_if {
         caught += 1;
         println!("  sysret with IF=0 -> hardware pinned IF=1 while PKRS != 0");
@@ -124,7 +155,10 @@ fn main() {
     m.cpu.idtr = platform.ksm.idt_pa;
     m.cpu.tss_base = platform.ksm.tss_pa;
     m.cpu.rsp = 0xdead_dead_0000; // sabotage
-    match m.cpu.deliver_interrupt(&mut m.mem, cki_core::ksm::VEC_VIRTIO, true) {
+    match m
+        .cpu
+        .deliver_interrupt(&mut m.mem, cki_core::ksm::VEC_VIRTIO, true)
+    {
         Ok(d) => {
             caught += 1;
             println!(
@@ -146,12 +180,16 @@ fn main() {
 
     println!("\n== Hardware audit trail (last events) ==");
     let freq = stack.machine.cpu.clock.model().freq_ghz;
-    let blocked = stack.machine.cpu.tracer.count_of(
-        cki::sim_hw::TraceEvent::InstrBlocked { mnemonic: "", pkrs: 0 },
-    );
-    let pk = stack.machine.cpu.tracer.count_of(
-        cki::sim_hw::TraceEvent::PkViolation { va: 0, key: 0, write: false },
-    );
+    let blocked = stack
+        .machine
+        .cpu
+        .tracer
+        .count_of(cki::sim_hw::TraceKind::InstrBlocked);
+    let pk = stack
+        .machine
+        .cpu
+        .tracer
+        .count_of(cki::sim_hw::TraceKind::PkViolation);
     print!("{}", stack.machine.cpu.tracer.render_tail(8, freq));
     println!("totals: {blocked} blocked instructions, {pk} PK violations recorded");
 }

@@ -19,8 +19,8 @@ fn main() {
     for i in 0..12 {
         let id = host.start_container(256 * MIB).expect("start");
         host.enter(id, |env| {
-            let base = env.mmap(1 * MIB).expect("mmap");
-            env.touch_range(base, 1 * MIB, true).expect("touch");
+            let base = env.mmap(MIB).expect("mmap");
+            env.touch_range(base, MIB, true).expect("touch");
             assert_eq!(env.sys(Sys::Getpid).unwrap(), 1);
         })
         .expect("enter");
@@ -66,6 +66,10 @@ fn main() {
         })
         .expect("survivor healthy");
     }
-    println!("\n{} survivors all healthy; lifetime: {} started, {} stopped",
-        host.running(), host.started, host.stopped);
+    println!(
+        "\n{} survivors all healthy; lifetime: {} started, {} stopped",
+        host.running(),
+        host.started,
+        host.stopped
+    );
 }

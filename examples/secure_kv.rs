@@ -9,8 +9,13 @@ use cki::{Backend, Stack, StackConfig};
 use workloads::kv::{KvKind, KvServerWorkload};
 
 fn run(backend: Backend, clients: u32) -> f64 {
-    let mut stack =
-        Stack::new(backend, StackConfig { clients, ..StackConfig::default() });
+    let mut stack = Stack::new(
+        backend,
+        StackConfig {
+            clients,
+            ..StackConfig::default()
+        },
+    );
     let mut env = stack.env();
     let report = KvServerWorkload::new(KvKind::Memcached, 3000)
         .run(&mut env)

@@ -97,14 +97,22 @@ impl CloudHost {
 
     /// Starts a secure container with a `seg_bytes` delegated segment.
     pub fn start_container(&mut self, seg_bytes: u64) -> Result<ContainerId, HostError> {
-        let seg = self.segments.alloc(seg_bytes).ok_or(HostError::OutOfContiguousMemory)?;
+        let seg = self
+            .segments
+            .alloc(seg_bytes)
+            .ok_or(HostError::OutOfContiguousMemory)?;
         if self.next_pcid >= 4095 {
             self.segments.free(seg);
             return Err(HostError::OutOfPcids);
         }
         let pcid = self.next_pcid;
         self.next_pcid += 1;
-        let config = CkiConfig { seg_bytes, pcid, vcpus: 1, ..CkiConfig::default() };
+        let config = CkiConfig {
+            seg_bytes,
+            pcid,
+            vcpus: 1,
+            ..CkiConfig::default()
+        };
         let platform = CkiPlatform::new_with_segment(&mut self.machine, config, seg);
         let kernel = Kernel::boot(Box::new(platform), &mut self.machine);
         let id = self.next_id;
@@ -116,7 +124,10 @@ impl CloudHost {
 
     /// Stops a container, returning its segment to the host pool.
     pub fn stop_container(&mut self, id: ContainerId) -> Result<(), HostError> {
-        let c = self.containers.remove(&id).ok_or(HostError::NoSuchContainer)?;
+        let c = self
+            .containers
+            .remove(&id)
+            .ok_or(HostError::NoSuchContainer)?;
         // The segment is wiped and reclaimed; KSM host-side pages stay with
         // the machine allocator (reused on the next boot).
         self.machine.cpu.tlb.flush_pcid(pcid_of(&c));
@@ -131,7 +142,10 @@ impl CloudHost {
         id: ContainerId,
         f: impl FnOnce(&mut Env<'_>) -> R,
     ) -> Result<R, HostError> {
-        let c = self.containers.get_mut(&id).ok_or(HostError::NoSuchContainer)?;
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(HostError::NoSuchContainer)?;
         let root = c.kernel.proc(c.kernel.current).aspace.root;
         self.machine.cpu.mode = Mode::Kernel;
         c.kernel
@@ -211,13 +225,15 @@ mod tests {
     #[test]
     fn many_containers_and_isolation() {
         let mut h = host();
-        let ids: Vec<_> = (0..6).map(|_| h.start_container(64 * MIB).unwrap()).collect();
+        let ids: Vec<_> = (0..6)
+            .map(|_| h.start_container(64 * MIB).unwrap())
+            .collect();
         // Each container does private work.
         for (i, &id) in ids.iter().enumerate() {
             h.enter(id, |env| {
                 let base = env.mmap(64 * 1024).unwrap();
                 env.touch_range(base, 64 * 1024, true).unwrap();
-                assert!(env.kernel.stats.pgfaults >= 16, "container {i}");
+                assert!(env.kernel.stats().pgfaults >= 16, "container {i}");
             })
             .unwrap();
         }
@@ -252,7 +268,11 @@ mod tests {
         }
         let free = h.free_bytes();
         assert!(free >= pool / 3);
-        assert!(h.fragmentation() > 0.4, "fragmentation {}", h.fragmentation());
+        assert!(
+            h.fragmentation() > 0.4,
+            "fragmentation {}",
+            h.fragmentation()
+        );
         // A container needing a contiguous chunk larger than any extent
         // cannot start despite sufficient total free memory — §4.3.
         assert!(free > 256 * MIB);

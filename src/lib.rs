@@ -40,6 +40,7 @@ pub mod cloud;
 pub use cki_core;
 pub use cloud::{CloudHost, Container, ContainerId, HostError};
 pub use guest_os;
+pub use obs;
 pub use sim_hw;
 pub use sim_mem;
 pub use vmm;
@@ -170,8 +171,7 @@ impl Stack {
         let platform: Box<dyn Platform> = match backend {
             Backend::RunC => Box::new(NativePlatform::new(1).with_clients(config.clients)),
             Backend::HvmBm => Box::new(
-                HvmPlatform::new(&mut machine, config.vm_bytes, false)
-                    .with_clients(config.clients),
+                HvmPlatform::new(&mut machine, config.vm_bytes, false).with_clients(config.clients),
             ),
             Backend::HvmBm2M => Box::new(
                 HvmPlatform::new(&mut machine, config.vm_bytes, false)
@@ -179,8 +179,7 @@ impl Stack {
                     .with_clients(config.clients),
             ),
             Backend::HvmNested => Box::new(
-                HvmPlatform::new(&mut machine, config.vm_bytes, true)
-                    .with_clients(config.clients),
+                HvmPlatform::new(&mut machine, config.vm_bytes, true).with_clients(config.clients),
             ),
             Backend::Pvm => {
                 Box::new(PvmPlatform::new(&mut machine, false).with_clients(config.clients))
@@ -220,13 +219,17 @@ impl Stack {
                 };
                 Box::new(CkiPlatform::new(&mut machine, cfg).with_clients(config.clients))
             }
-            Backend::Gvisor => Box::new(
-                vmm::GvisorPlatform::new(&mut machine).with_clients(config.clients),
-            ),
+            Backend::Gvisor => {
+                Box::new(vmm::GvisorPlatform::new(&mut machine).with_clients(config.clients))
+            }
             Backend::LibOs => Box::new(vmm::LibOsPlatform::new(&mut machine)),
         };
         let kernel = Kernel::boot(platform, &mut machine);
-        Self { machine, kernel, backend }
+        Self {
+            machine,
+            kernel,
+            backend,
+        }
     }
 
     /// The application environment for running workloads.
@@ -237,6 +240,34 @@ impl Stack {
     /// Elapsed simulated nanoseconds.
     pub fn ns(&self) -> f64 {
         self.machine.cpu.clock.ns()
+    }
+
+    /// Enables (or disables) the cycle-attributed span profiler. Recording
+    /// is zero-cost while disabled.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.machine.cpu.profiler.set_enabled(on);
+    }
+
+    /// The span profiler (aggregates, events, drop counts).
+    pub fn profiler(&self) -> &obs::SpanProfiler {
+        &self.machine.cpu.profiler
+    }
+
+    /// Chrome-trace JSON of the recorded spans — load the string (saved to
+    /// a file) in `chrome://tracing` or Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        let freq = self.machine.cpu.clock.model().freq_ghz;
+        obs::export::chrome_trace(&self.machine.cpu.profiler, freq)
+    }
+
+    /// Unified metrics snapshot: hardware + VMM + CKI counters from the
+    /// machine's registry merged with the guest kernel's OS-level registry.
+    pub fn metrics_snapshot(&self) -> obs::MetricsSnapshot {
+        self.machine
+            .cpu
+            .metrics
+            .snapshot()
+            .merge(&self.kernel.metrics.snapshot())
     }
 }
 

@@ -24,9 +24,23 @@ fn program_fingerprint(backend: Backend) -> Vec<u64> {
 
     // Files.
     let buf = env.mmap(64 * 1024).unwrap();
-    let fd = env.sys(Sys::Open { path: "/data/x", create: true, trunc: false }).unwrap() as Fd;
+    let fd = env
+        .sys(Sys::Open {
+            path: "/data/x",
+            create: true,
+            trunc: false,
+        })
+        .unwrap() as Fd;
     out.push(env.sys(Sys::Write { fd, buf, len: 3000 }).unwrap());
-    out.push(env.sys(Sys::Pread { fd, buf, len: 9999, offset: 1000 }).unwrap());
+    out.push(
+        env.sys(Sys::Pread {
+            fd,
+            buf,
+            len: 9999,
+            offset: 1000,
+        })
+        .unwrap(),
+    );
     out.push(env.sys(Sys::Stat { path: "/data/x" }).unwrap());
     out.push(env.sys(Sys::Unlink { path: "/data/x" }).unwrap());
     out.push(matches!(env.sys(Sys::Stat { path: "/data/x" }), Err(Errno::NoEnt)) as u64);
@@ -34,11 +48,22 @@ fn program_fingerprint(backend: Backend) -> Vec<u64> {
     // Memory.
     let region = env.mmap(32 * 4096).unwrap();
     env.touch_range(region, 32 * 4096, true).unwrap();
-    out.push(env.kernel.stats.pgfaults);
-    env.sys(Sys::Mprotect { addr: region, len: 4096, write: false }).unwrap();
+    out.push(env.kernel.stats().pgfaults);
+    env.sys(Sys::Mprotect {
+        addr: region,
+        len: 4096,
+        write: false,
+    })
+    .unwrap();
     out.push(matches!(env.touch(region, true), Err(Errno::Fault)) as u64);
     out.push(env.touch(region + 4096, true).is_ok() as u64);
-    out.push(env.sys(Sys::Munmap { addr: region, len: 32 * 4096 }).unwrap());
+    out.push(
+        env.sys(Sys::Munmap {
+            addr: region,
+            len: 32 * 4096,
+        })
+        .unwrap(),
+    );
 
     // Processes.
     let child = env.sys(Sys::Fork).unwrap();
@@ -56,8 +81,28 @@ fn program_fingerprint(backend: Backend) -> Vec<u64> {
     // Pipes.
     let fds = kernel.syscall(machine, Sys::PipeCreate).unwrap();
     let (rfd, wfd) = ((fds >> 32) as Fd, (fds & 0xffff_ffff) as Fd);
-    kernel.syscall(machine, Sys::Write { fd: wfd, buf, len: 77 }).unwrap();
-    out.push(kernel.syscall(machine, Sys::Read { fd: rfd, buf, len: 500 }).unwrap());
+    kernel
+        .syscall(
+            machine,
+            Sys::Write {
+                fd: wfd,
+                buf,
+                len: 77,
+            },
+        )
+        .unwrap();
+    out.push(
+        kernel
+            .syscall(
+                machine,
+                Sys::Read {
+                    fd: rfd,
+                    buf,
+                    len: 500,
+                },
+            )
+            .unwrap(),
+    );
     out
 }
 

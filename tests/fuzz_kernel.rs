@@ -1,14 +1,13 @@
 //! Fuzz-style robustness: random syscall sequences against every backend
 //! must never panic, never corrupt kernel invariants, and behave
-//! identically across backends.
+//! identically across backends. Scripts are generated from deterministic
+//! seeded streams so the suite is reproducible and builds offline.
 
 use cki::{Backend, Stack, StackConfig};
 use guest_os::{Errno, Fd, Sys};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use obs::rng::SmallRng;
 
-/// One scripted operation (compact encodable form for proptest).
+/// One scripted operation.
 #[derive(Debug, Clone, Copy)]
 enum Op {
     Getpid,
@@ -27,24 +26,44 @@ enum Op {
     Pipe,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Getpid),
-        (0u8..4).prop_map(Op::Open),
-        (0u8..8, 1u16..5000).prop_map(|(fd, len)| Op::WriteFd { fd, len }),
-        (0u8..8, 1u16..5000).prop_map(|(fd, len)| Op::ReadFd { fd, len }),
-        (0u8..8).prop_map(Op::CloseFd),
-        (1u8..16).prop_map(|pages| Op::Mmap { pages }),
-        (0u8..4, 0u8..16, any::<bool>())
-            .prop_map(|(region, page, write)| Op::TouchRegion { region, page, write }),
-        (0u8..4).prop_map(Op::MunmapRegion),
-        (0u8..4, any::<bool>()).prop_map(|(region, write)| Op::Mprotect { region, write }),
-        Just(Op::Fork),
-        Just(Op::SwitchNext),
-        Just(Op::ExitIfChild),
-        (0u8..4).prop_map(Op::Stat),
-        Just(Op::Pipe),
-    ]
+fn random_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0u32..14) {
+        0 => Op::Getpid,
+        1 => Op::Open(rng.gen_range(0u8..4)),
+        2 => Op::WriteFd {
+            fd: rng.gen_range(0u8..8),
+            len: rng.gen_range(1u16..5000),
+        },
+        3 => Op::ReadFd {
+            fd: rng.gen_range(0u8..8),
+            len: rng.gen_range(1u16..5000),
+        },
+        4 => Op::CloseFd(rng.gen_range(0u8..8)),
+        5 => Op::Mmap {
+            pages: rng.gen_range(1u8..16),
+        },
+        6 => Op::TouchRegion {
+            region: rng.gen_range(0u8..4),
+            page: rng.gen_range(0u8..16),
+            write: rng.gen(),
+        },
+        7 => Op::MunmapRegion(rng.gen_range(0u8..4)),
+        8 => Op::Mprotect {
+            region: rng.gen_range(0u8..4),
+            write: rng.gen(),
+        },
+        9 => Op::Fork,
+        10 => Op::SwitchNext,
+        11 => Op::ExitIfChild,
+        12 => Op::Stat(rng.gen_range(0u8..4)),
+        _ => Op::Pipe,
+    }
+}
+
+fn random_script(seed: u64, max_len: usize) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len = rng.gen_range(1usize..max_len);
+    (0..len).map(|_| random_op(&mut rng)).collect()
 }
 
 /// Runs a script and returns a functional fingerprint (results of each op).
@@ -70,38 +89,55 @@ fn run_script(backend: Backend, ops: &[Op]) -> Vec<i64> {
             Op::Getpid => enc(env.sys(Sys::Getpid)),
             Op::Open(i) => {
                 let path = ["/a", "/b", "/c", "/d"][i as usize];
-                enc(env.sys(Sys::Open { path, create: true, trunc: false }))
+                enc(env.sys(Sys::Open {
+                    path,
+                    create: true,
+                    trunc: false,
+                }))
             }
-            Op::WriteFd { fd, len } => {
-                enc(env.sys(Sys::Write { fd: fd as Fd, buf, len: len as usize }))
-            }
-            Op::ReadFd { fd, len } => {
-                enc(env.sys(Sys::Read { fd: fd as Fd, buf, len: len as usize }))
-            }
+            Op::WriteFd { fd, len } => enc(env.sys(Sys::Write {
+                fd: fd as Fd,
+                buf,
+                len: len as usize,
+            })),
+            Op::ReadFd { fd, len } => enc(env.sys(Sys::Read {
+                fd: fd as Fd,
+                buf,
+                len: len as usize,
+            })),
             Op::CloseFd(fd) => enc(env.sys(Sys::Close { fd: fd as Fd })),
             Op::Mmap { pages } => {
-                let r = env.sys(Sys::Mmap { len: pages as u64 * 4096, write: true });
+                let r = env.sys(Sys::Mmap {
+                    len: pages as u64 * 4096,
+                    write: true,
+                });
                 if let Ok(base) = r {
-                    let slot = rng.gen_range(0..4);
+                    let slot = rng.gen_range(0usize..4);
                     regions[slot] = Some((base, pages as u64 * 4096));
                 }
                 enc(r)
             }
-            Op::TouchRegion { region, page, write } => {
-                match regions[region as usize % 4] {
-                    Some((base, len)) => {
-                        let va = base + (page as u64 * 4096) % len;
-                        enc(env.touch(va, write).map(|_| 1))
-                    }
-                    None => -100,
+            Op::TouchRegion {
+                region,
+                page,
+                write,
+            } => match regions[region as usize % 4] {
+                Some((base, len)) => {
+                    let va = base + (page as u64 * 4096) % len;
+                    enc(env.touch(va, write).map(|_| 1))
                 }
-            }
+                None => -100,
+            },
             Op::MunmapRegion(i) => match regions[i as usize % 4].take() {
                 Some((base, len)) => enc(env.sys(Sys::Munmap { addr: base, len })),
                 None => -100,
             },
             Op::Mprotect { region, write } => match regions[region as usize % 4] {
-                Some((base, len)) => enc(env.sys(Sys::Mprotect { addr: base, len, write })),
+                Some((base, len)) => enc(env.sys(Sys::Mprotect {
+                    addr: base,
+                    len,
+                    write,
+                })),
                 None => -100,
             },
             Op::Fork => {
@@ -144,23 +180,25 @@ fn run_script(backend: Backend, ops: &[Op]) -> Vec<i64> {
     fingerprint
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// No panic, and functional equivalence between RunC and CKI, under
-    /// arbitrary operation scripts.
-    #[test]
-    fn random_scripts_agree_runc_vs_cki(ops in prop::collection::vec(op_strategy(), 1..40)) {
+/// No panic, and functional equivalence between RunC and CKI, under
+/// arbitrary operation scripts.
+#[test]
+fn random_scripts_agree_runc_vs_cki() {
+    for case in 0..24u64 {
+        let ops = random_script(0x5EED_0000 + case, 40);
         let a = run_script(Backend::RunC, &ops);
         let b = run_script(Backend::Cki, &ops);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: {ops:?}");
     }
+}
 
-    /// PVM and nested HVM also agree (slow, fewer cases).
-    #[test]
-    fn random_scripts_agree_pvm_vs_hvm_nested(ops in prop::collection::vec(op_strategy(), 1..24)) {
+/// PVM and nested HVM also agree (slow, fewer cases).
+#[test]
+fn random_scripts_agree_pvm_vs_hvm_nested() {
+    for case in 0..12u64 {
+        let ops = random_script(0xBEEF_0000 + case, 24);
         let a = run_script(Backend::Pvm, &ops);
         let b = run_script(Backend::HvmNested, &ops);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: {ops:?}");
     }
 }

@@ -34,7 +34,15 @@ fn many_containers_two_keys_each() {
         let root = k.proc(1).aspace.root;
         k.platform.load_root(&mut machine, root).expect("switch in");
         machine.cpu.mode = Mode::User;
-        let base = k.syscall(&mut machine, Sys::Mmap { len: 64 * 1024, write: true }).unwrap();
+        let base = k
+            .syscall(
+                &mut machine,
+                Sys::Mmap {
+                    len: 64 * 1024,
+                    write: true,
+                },
+            )
+            .unwrap();
         k.touch_range(&mut machine, base, 64 * 1024, true).unwrap();
         assert_eq!(k.syscall(&mut machine, Sys::Getpid).unwrap(), 1);
     }
@@ -52,7 +60,10 @@ fn segments_are_disjoint() {
         .collect();
     for (i, a) in segs.iter().enumerate() {
         for b in segs.iter().skip(i + 1) {
-            assert!(a.end <= b.start || b.end <= a.start, "segments overlap: {a:?} {b:?}");
+            assert!(
+                a.end <= b.start || b.end <= a.start,
+                "segments overlap: {a:?} {b:?}"
+            );
         }
     }
 }
@@ -63,7 +74,11 @@ fn ksm_rejects_cross_container_mappings() {
     // Container 0's guest kernel asks its KSM to map a page belonging to
     // container 1's segment.
     let victim_seg = {
-        let p = kernels[1].platform.as_any().downcast_ref::<CkiPlatform>().unwrap();
+        let p = kernels[1]
+            .platform
+            .as_any()
+            .downcast_ref::<CkiPlatform>()
+            .unwrap();
         p.ksm.seg
     };
     let root0 = kernels[0].proc(1).aspace.root;
@@ -71,11 +86,20 @@ fn ksm_rejects_cross_container_mappings() {
     k0.platform.load_root(&mut machine, root0).expect("switch");
     machine.cpu.mode = Mode::Kernel;
     machine.cpu.pkrs = cki_core::pkrs_guest();
-    let p0 = k0.platform.as_any_mut().downcast_mut::<CkiPlatform>().unwrap();
+    let p0 = k0
+        .platform
+        .as_any_mut()
+        .downcast_mut::<CkiPlatform>()
+        .unwrap();
     let evil = pte::make(victim_seg.start, pte::P | pte::W | pte::U | pte::NX);
-    let r = gates::ksm_call(&mut machine, &mut p0.ksm, |m, k| k.update_pte(m, root0, 0, evil))
-        .expect("gate");
-    assert_eq!(r.unwrap_err(), KsmError::BadPte("target outside delegated segment"));
+    let r = gates::ksm_call(&mut machine, &mut p0.ksm, |m, k| {
+        k.update_pte(m, root0, 0, evil)
+    })
+    .expect("gate");
+    assert_eq!(
+        r.unwrap_err(),
+        KsmError::BadPte("target outside delegated segment")
+    );
 }
 
 #[test]
@@ -86,12 +110,27 @@ fn invlpg_cannot_flush_a_neighbours_tlb() {
 
     // Container 1 warms a translation.
     let root1 = kernels[1].proc(1).aspace.root;
-    kernels[1].platform.load_root(&mut machine, root1).expect("switch");
+    kernels[1]
+        .platform
+        .load_root(&mut machine, root1)
+        .expect("switch");
     machine.cpu.mode = Mode::User;
-    let base1 = kernels[1].syscall(&mut machine, Sys::Mmap { len: 4096, write: true }).unwrap();
+    let base1 = kernels[1]
+        .syscall(
+            &mut machine,
+            Sys::Mmap {
+                len: 4096,
+                write: true,
+            },
+        )
+        .unwrap();
     kernels[1].touch(&mut machine, base1, true).unwrap();
     let pcid1 = {
-        let p = kernels[1].platform.as_any().downcast_ref::<CkiPlatform>().unwrap();
+        let p = kernels[1]
+            .platform
+            .as_any()
+            .downcast_ref::<CkiPlatform>()
+            .unwrap();
         p.ksm.pcid
     };
     let cached_before = machine.cpu.tlb.count_pcid(pcid1);
@@ -99,11 +138,17 @@ fn invlpg_cannot_flush_a_neighbours_tlb() {
 
     // Container 0 spams invlpg over the same virtual addresses.
     let root0 = kernels[0].proc(1).aspace.root;
-    kernels[0].platform.load_root(&mut machine, root0).expect("switch");
+    kernels[0]
+        .platform
+        .load_root(&mut machine, root0)
+        .expect("switch");
     machine.cpu.mode = Mode::Kernel;
     machine.cpu.pkrs = cki_core::pkrs_guest();
     for off in (0..32u64).map(|i| i * 4096) {
-        machine.cpu.exec(&mut machine.mem, Instr::Invlpg { va: base1 + off }).expect("invlpg");
+        machine
+            .cpu
+            .exec(&mut machine.mem, Instr::Invlpg { va: base1 + off })
+            .expect("invlpg");
     }
     assert_eq!(
         machine.cpu.tlb.count_pcid(pcid1),
@@ -139,7 +184,15 @@ fn workloads_interleave_across_containers() {
         let root = k.proc(1).aspace.root;
         k.platform.load_root(&mut machine, root).expect("switch");
         machine.cpu.mode = Mode::User;
-        bases[i] = k.syscall(&mut machine, Sys::Mmap { len: 1 << 20, write: true }).unwrap();
+        bases[i] = k
+            .syscall(
+                &mut machine,
+                Sys::Mmap {
+                    len: 1 << 20,
+                    write: true,
+                },
+            )
+            .unwrap();
     }
     for round in 0..8 {
         for (i, k) in kernels.iter_mut().enumerate() {
@@ -152,6 +205,6 @@ fn workloads_interleave_across_containers() {
         }
     }
     for k in &kernels {
-        assert!(k.stats.pgfaults >= 8, "{} faults", k.stats.pgfaults);
+        assert!(k.stats().pgfaults >= 8, "{} faults", k.stats().pgfaults);
     }
 }

@@ -1,9 +1,9 @@
 //! The paper's headline claims (artifact appendix C1-C3 plus the abstract),
 //! asserted against the reproduction at CI scale.
 
+use cki::Backend;
 use cki_bench::experiments::{self, MemApp};
 use cki_bench::Scale;
-use cki::Backend;
 use workloads::kv::KvKind;
 
 /// C1: "Compared with HVM-NST and PVM, CKI reduces the latencies of
@@ -20,7 +20,11 @@ fn c1_memory_latency_reductions() {
         max_vs_pvm = max_vs_pvm.max(1.0 - cki / pvm);
     }
     // Paper: up to 72% / 47%. Require the same order of effect.
-    assert!(max_vs_hvm_nst > 0.55, "CKI vs HVM-NST: -{:.0}%", max_vs_hvm_nst * 100.0);
+    assert!(
+        max_vs_hvm_nst > 0.55,
+        "CKI vs HVM-NST: -{:.0}%",
+        max_vs_hvm_nst * 100.0
+    );
     assert!(max_vs_pvm > 0.20, "CKI vs PVM: -{:.0}%", max_vs_pvm * 100.0);
 }
 
@@ -54,7 +58,10 @@ fn c3_kv_throughput() {
     let mc_cki = experiments::kv_tput(Backend::CkiNested, KvKind::Memcached, 64, Scale::Quick);
     let mc_hvm = experiments::kv_tput(Backend::HvmNested, KvKind::Memcached, 64, Scale::Quick);
     let ratio_mc = mc_cki / mc_hvm;
-    assert!(ratio_mc > 2.5, "memcached CKI-NST/HVM-NST = {ratio_mc:.1}x (paper: 6.8x)");
+    assert!(
+        ratio_mc > 2.5,
+        "memcached CKI-NST/HVM-NST = {ratio_mc:.1}x (paper: 6.8x)"
+    );
 
     let rd_cki = experiments::kv_tput(Backend::CkiNested, KvKind::Redis, 64, Scale::Quick);
     let rd_hvm = experiments::kv_tput(Backend::HvmNested, KvKind::Redis, 64, Scale::Quick);
@@ -72,7 +79,10 @@ fn c3_kv_throughput() {
     let mc_pvm = experiments::kv_tput(Backend::Pvm, KvKind::Memcached, 64, Scale::Quick);
     let mc_cki_bm = experiments::kv_tput(Backend::Cki, KvKind::Memcached, 64, Scale::Quick);
     let over_pvm = mc_cki_bm / mc_pvm;
-    assert!((1.2..2.2).contains(&over_pvm), "CKI/PVM memcached = {over_pvm:.2}x");
+    assert!(
+        (1.2..2.2).contains(&over_pvm),
+        "CKI/PVM memcached = {over_pvm:.2}x"
+    );
 }
 
 /// Abstract: "reducing the latency of memory-intensive applications by up
@@ -84,7 +94,11 @@ fn cki_is_near_native() {
         let cki = experiments::mem_app_latency(Backend::Cki, app, Scale::Quick);
         let runc = experiments::mem_app_latency(Backend::RunC, app, Scale::Quick);
         let overhead = cki / runc - 1.0;
-        assert!(overhead < 0.05, "{app:?}: CKI {:.1}% over RunC (paper: <3%)", overhead * 100.0);
+        assert!(
+            overhead < 0.05,
+            "{app:?}: CKI {:.1}% over RunC (paper: <3%)",
+            overhead * 100.0
+        );
     }
 }
 
@@ -97,6 +111,12 @@ fn hypercall_claims() {
     let hvm_nst = experiments::hypercall_ns(Backend::HvmNested);
     assert_eq!(cki, cki_nst, "CKI exits never involve L0");
     assert!((300.0..450.0).contains(&cki), "CKI {cki} ns (paper 390)");
-    assert!((440.0..560.0).contains(&pvm_nst), "PVM-NST {pvm_nst} ns (paper 486)");
-    assert!((6000.0..7400.0).contains(&hvm_nst), "HVM-NST {hvm_nst} ns (paper 6746)");
+    assert!(
+        (440.0..560.0).contains(&pvm_nst),
+        "PVM-NST {pvm_nst} ns (paper 486)"
+    );
+    assert!(
+        (6000.0..7400.0).contains(&hvm_nst),
+        "HVM-NST {hvm_nst} ns (paper 6746)"
+    );
 }

@@ -65,8 +65,14 @@ fn nested_hvm_ticks_cost_the_most() {
     let cki = cost_of(Backend::Cki);
     let hvm_nst = cost_of(Backend::HvmNested);
     assert!(runc < 700.0, "native tick {runc:.0} ns");
-    assert!(cki < 1000.0, "CKI tick {cki:.0} ns (one 336 ns gate + handler)");
-    assert!(hvm_nst > 6000.0, "nested tick {hvm_nst:.0} ns (L0-mediated)");
+    assert!(
+        cki < 1000.0,
+        "CKI tick {cki:.0} ns (one 336 ns gate + handler)"
+    );
+    assert!(
+        hvm_nst > 6000.0,
+        "nested tick {hvm_nst:.0} ns (L0-mediated)"
+    );
 }
 
 #[test]
@@ -82,7 +88,7 @@ fn preemption_does_not_change_results() {
         let base = env.mmap(256 * 4096).unwrap();
         env.touch_range(base, 256 * 4096, true).unwrap();
         let child = env.sys(Sys::Fork).unwrap();
-        (env.kernel.stats.pgfaults, child)
+        (env.kernel.stats().pgfaults, child)
     };
     assert_eq!(fingerprint(false), fingerprint(true));
 }

@@ -4,9 +4,14 @@
 use cki::cki_core::{self, gates, CkiPlatform, KsmError};
 use cki::guest_os::Sys;
 use cki::sim_hw::instr::InvpcidMode;
-use cki::sim_hw::{Access, Fault, Instr, IretFrame, Mode};
+use cki::sim_hw::{Access, Fault, Instr, IretFrame, Machine, Mode, TraceEvent, TraceKind};
 use cki::sim_mem::pte;
 use cki::{Backend, Stack, StackConfig};
+
+/// Kinds of all traced events, oldest first.
+fn traced_kinds(m: &Machine) -> Vec<TraceKind> {
+    m.cpu.tracer.events().map(|(_, e)| e.kind()).collect()
+}
 
 /// Boots CKI with one mapped page so a declared PTP exists.
 fn attack_stack() -> Stack {
@@ -26,21 +31,31 @@ fn as_guest_kernel(stack: &mut Stack) {
 fn destructive_instructions_trap_to_host() {
     let mut stack = attack_stack();
     as_guest_kernel(&mut stack);
+    stack.machine.cpu.tracer.enable();
     let m = &mut stack.machine;
-    for instr in [
-        Instr::Wrmsr { msr: 0xc000_0080, value: 0 }, // EFER
+    let attacks = [
+        Instr::Wrmsr {
+            msr: 0xc000_0080,
+            value: 0,
+        }, // EFER
         Instr::Lgdt { base: 0xbad },
         Instr::Ltr { selector: 0x28 },
         Instr::WriteCr0 { value: 0 }, // turn off paging!
         Instr::WriteCr4 { value: 0 }, // turn off PKS!
-        Instr::WriteCr3 { value: 0xbad000, preserve_tlb: false },
-        Instr::Invpcid { mode: InvpcidMode::SingleContext { pcid: 0 } },
+        Instr::WriteCr3 {
+            value: 0xbad000,
+            preserve_tlb: false,
+        },
+        Instr::Invpcid {
+            mode: InvpcidMode::SingleContext { pcid: 0 },
+        },
         Instr::Sti,
         Instr::Popf { if_flag: false },
         Instr::InPort { port: 0xcf8 },
         Instr::Smsw,
         Instr::ReadCr { cr: 3 }, // would leak hPAs
-    ] {
+    ];
+    for instr in attacks {
         let r = m.cpu.exec(&mut m.mem, instr);
         assert!(
             matches!(r, Err(Fault::BlockedPrivileged { .. })),
@@ -48,6 +63,22 @@ fn destructive_instructions_trap_to_host() {
             instr.mnemonic()
         );
     }
+    // Every blocked attempt is audited, in execution order.
+    assert_eq!(
+        m.cpu.tracer.count_of(TraceKind::InstrBlocked),
+        attacks.len() as u64
+    );
+    let recorded: Vec<&str> = m
+        .cpu
+        .tracer
+        .events()
+        .filter_map(|(_, e)| match e {
+            TraceEvent::InstrBlocked { mnemonic, .. } => Some(*mnemonic),
+            _ => None,
+        })
+        .collect();
+    let expected: Vec<&str> = attacks.iter().map(|i| i.mnemonic()).collect();
+    assert_eq!(recorded, expected, "audit trail preserves attempt order");
 }
 
 #[test]
@@ -56,11 +87,17 @@ fn harmless_instructions_still_work() {
     as_guest_kernel(&mut stack);
     let m = &mut stack.machine;
     // Table 3's "No" rows keep the guest kernel fast.
-    m.cpu.exec(&mut m.mem, Instr::ReadCr { cr: 0 }).expect("read cr0");
-    m.cpu.exec(&mut m.mem, Instr::ReadCr { cr: 4 }).expect("read cr4");
+    m.cpu
+        .exec(&mut m.mem, Instr::ReadCr { cr: 0 })
+        .expect("read cr0");
+    m.cpu
+        .exec(&mut m.mem, Instr::ReadCr { cr: 4 })
+        .expect("read cr4");
     m.cpu.exec(&mut m.mem, Instr::Swapgs).expect("swapgs");
     m.cpu.exec(&mut m.mem, Instr::Clac).expect("clac");
-    m.cpu.exec(&mut m.mem, Instr::Invlpg { va: 0x1000 }).expect("invlpg");
+    m.cpu
+        .exec(&mut m.mem, Instr::Invlpg { va: 0x1000 })
+        .expect("invlpg");
 }
 
 #[test]
@@ -68,16 +105,44 @@ fn guest_cannot_write_ptp_but_can_read_it() {
     let mut stack = attack_stack();
     let root = stack.kernel.proc(1).aspace.root;
     let ptp_va = {
-        let p = stack.kernel.platform.as_any().downcast_ref::<CkiPlatform>().unwrap();
+        let p = stack
+            .kernel
+            .platform
+            .as_any()
+            .downcast_ref::<CkiPlatform>()
+            .unwrap();
         p.ksm.physmap_va(root)
     };
     as_guest_kernel(&mut stack);
+    stack.machine.cpu.tracer.enable();
     let m = &mut stack.machine;
     // Reads are allowed: CKI uses PKS write-disable, not the W bit, so the
     // guest can walk its own tables (§4.3).
-    m.cpu.mem_access(&mut m.mem, ptp_va, Access::Read, None).expect("read own PTP");
-    let err = m.cpu.mem_access(&mut m.mem, ptp_va, Access::Write, None).unwrap_err();
-    assert!(matches!(err, Fault::PkViolation { key: cki_core::KEY_PTP, write: true, .. }));
+    m.cpu
+        .mem_access(&mut m.mem, ptp_va, Access::Read, None)
+        .expect("read own PTP");
+    let err = m
+        .cpu
+        .mem_access(&mut m.mem, ptp_va, Access::Write, None)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Fault::PkViolation {
+            key: cki_core::KEY_PTP,
+            write: true,
+            ..
+        }
+    ));
+    // The permitted read leaves no event; only the write attempt is audited.
+    assert_eq!(traced_kinds(m), vec![TraceKind::PkViolation]);
+    let first = m.cpu.tracer.events().next().unwrap().1;
+    match first {
+        TraceEvent::PkViolation { key, write, .. } => {
+            assert_eq!(key, cki_core::KEY_PTP);
+            assert!(write);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
 }
 
 #[test]
@@ -85,14 +150,23 @@ fn ksm_rejects_mappings_outside_the_segment() {
     let mut stack = attack_stack();
     as_guest_kernel(&mut stack);
     let root = stack.kernel.proc(1).aspace.root;
-    let Stack { machine: m, kernel, .. } = &mut stack;
-    let p = kernel.platform.as_any_mut().downcast_mut::<CkiPlatform>().unwrap();
+    let Stack {
+        machine: m, kernel, ..
+    } = &mut stack;
+    let p = kernel
+        .platform
+        .as_any_mut()
+        .downcast_mut::<CkiPlatform>()
+        .unwrap();
     // Try to map host memory (the KSM's own IDT page, say).
     let idt = p.ksm.idt_pa;
     let evil = pte::make(idt & pte::ADDR_MASK, pte::P | pte::W | pte::U | pte::NX);
     let r = gates::ksm_call(m, &mut p.ksm, |m, k| k.update_pte(m, root, 1, evil))
         .expect("gate traversal");
-    assert_eq!(r.unwrap_err(), KsmError::BadPte("target outside delegated segment"));
+    assert_eq!(
+        r.unwrap_err(),
+        KsmError::BadPte("target outside delegated segment")
+    );
 }
 
 #[test]
@@ -102,24 +176,38 @@ fn ksm_rejects_kernel_executable_mappings() {
     let mut stack = attack_stack();
     as_guest_kernel(&mut stack);
     let root = stack.kernel.proc(1).aspace.root;
-    let Stack { machine: m, kernel, .. } = &mut stack;
-    let p = kernel.platform.as_any_mut().downcast_mut::<CkiPlatform>().unwrap();
+    let Stack {
+        machine: m, kernel, ..
+    } = &mut stack;
+    let p = kernel
+        .platform
+        .as_any_mut()
+        .downcast_mut::<CkiPlatform>()
+        .unwrap();
     let inside = p.ksm.seg.start + 0x5000;
     let evil = pte::make(inside, pte::P | pte::W); // U=0, NX=0
     let r = gates::ksm_call(m, &mut p.ksm, |m, k| k.update_pte(m, root, 1, evil))
         .expect("gate traversal");
-    assert_eq!(r.unwrap_err(), KsmError::BadPte("non-leaf target is not a declared PTP"));
+    assert_eq!(
+        r.unwrap_err(),
+        KsmError::BadPte("non-leaf target is not a declared PTP")
+    );
 }
 
 #[test]
 fn cr3_must_name_a_declared_root() {
     let mut stack = attack_stack();
     as_guest_kernel(&mut stack);
-    let Stack { machine: m, kernel, .. } = &mut stack;
-    let p = kernel.platform.as_any_mut().downcast_mut::<CkiPlatform>().unwrap();
+    let Stack {
+        machine: m, kernel, ..
+    } = &mut stack;
+    let p = kernel
+        .platform
+        .as_any_mut()
+        .downcast_mut::<CkiPlatform>()
+        .unwrap();
     let rogue = p.ksm.seg.start + 0x7000; // arbitrary data page
-    let r = gates::ksm_call(m, &mut p.ksm, |m, k| k.load_cr3(m, rogue, 0))
-        .expect("gate traversal");
+    let r = gates::ksm_call(m, &mut p.ksm, |m, k| k.load_cr3(m, rogue, 0)).expect("gate traversal");
     assert_eq!(r.unwrap_err(), KsmError::BadRoot);
 }
 
@@ -127,10 +215,16 @@ fn cr3_must_name_a_declared_root() {
 fn interrupt_forgery_and_monopolizing_blocked() {
     let mut stack = attack_stack();
     let (idt_pa, tss_pa) = {
-        let p = stack.kernel.platform.as_any().downcast_ref::<CkiPlatform>().unwrap();
+        let p = stack
+            .kernel
+            .platform
+            .as_any()
+            .downcast_ref::<CkiPlatform>()
+            .unwrap();
         (p.ksm.idt_pa, p.ksm.tss_pa)
     };
     as_guest_kernel(&mut stack);
+    stack.machine.cpu.tracer.enable();
     let m = &mut stack.machine;
     m.cpu.idtr = idt_pa;
     m.cpu.tss_base = tss_pa;
@@ -140,15 +234,40 @@ fn interrupt_forgery_and_monopolizing_blocked() {
     let fake = IretFrame::default();
     let mut host_ran = false;
     let r = gates::interrupt_gate(m, fake, cki_core::ksm::VEC_VIRTIO, |_m| host_ran = true);
-    assert!(matches!(r, Err(gates::GateAbort::Fault(Fault::PkViolation { .. }))));
+    assert!(matches!(
+        r,
+        Err(gates::GateAbort::Fault(Fault::PkViolation { .. }))
+    ));
     assert!(!host_ran);
 
     // Monopolizing: the guest cannot reload IDTR (blocked instruction) ...
     let r = m.cpu.exec(&mut m.mem, Instr::Lidt { base: 0xbad000 });
     assert!(matches!(r, Err(Fault::BlockedPrivileged { .. })));
     // ... and a genuine hardware interrupt still reaches the host gate.
-    let d = m.cpu.deliver_interrupt(&mut m.mem, cki_core::ksm::VEC_VIRTIO, true).unwrap();
+    let d = m
+        .cpu
+        .deliver_interrupt(&mut m.mem, cki_core::ksm::VEC_VIRTIO, true)
+        .unwrap();
     assert_eq!(d.handler, cki_core::ksm::INTR_GATE_TOKEN);
+
+    // The trace tells the whole story in order: forged entry dies on a PK
+    // violation, the IDTR takeover is blocked, then the genuine hardware
+    // interrupt is delivered.
+    let kinds = traced_kinds(m);
+    let pos = |k: TraceKind| {
+        kinds
+            .iter()
+            .position(|&x| x == k)
+            .unwrap_or_else(|| panic!("no {k:?} in {kinds:?}"))
+    };
+    assert!(
+        pos(TraceKind::PkViolation) < pos(TraceKind::InstrBlocked),
+        "{kinds:?}"
+    );
+    assert!(
+        pos(TraceKind::InstrBlocked) < pos(TraceKind::InterruptDelivered),
+        "{kinds:?}"
+    );
 }
 
 #[test]
@@ -172,18 +291,32 @@ fn container_survives_attack_storm() {
 
 #[test]
 fn tracer_audits_the_attack() {
-    use cki::sim_hw::TraceEvent;
     let mut stack = attack_stack();
     as_guest_kernel(&mut stack);
     stack.machine.cpu.tracer.enable();
     let m = &mut stack.machine;
     let _ = m.cpu.exec(&mut m.mem, Instr::Wrmsr { msr: 1, value: 2 });
     let _ = m.cpu.exec(&mut m.mem, Instr::Cli);
-    let blocked = m
+    let blocked = m.cpu.tracer.count_of(TraceKind::InstrBlocked);
+    assert_eq!(blocked, 2, "both attempts audited");
+    assert_eq!(
+        traced_kinds(m),
+        vec![TraceKind::InstrBlocked, TraceKind::InstrBlocked]
+    );
+    let mnemonics: Vec<&str> = m
         .cpu
         .tracer
-        .count_of(TraceEvent::InstrBlocked { mnemonic: "", pkrs: 0 });
-    assert_eq!(blocked, 2, "both attempts audited");
+        .events()
+        .filter_map(|(_, e)| match e {
+            TraceEvent::InstrBlocked { mnemonic, .. } => Some(*mnemonic),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        mnemonics,
+        vec!["wrmsr", "cli"],
+        "attempts recorded in order"
+    );
     let tail = m.cpu.tracer.render_tail(10, 2.4);
     assert!(tail.contains("wrmsr") && tail.contains("cli"), "{tail}");
 }
@@ -196,12 +329,27 @@ fn baseline_hardware_cannot_enforce_any_of_this() {
     let mut m = cki::sim_hw::Machine::new(64 << 20, cki::sim_hw::HwExtensions::baseline());
     m.cpu.mode = Mode::Kernel;
     m.cpu
-        .exec(&mut m.mem, Instr::Wrmsr { msr: cki::sim_hw::cpu::MSR_IA32_PKRS, value: 4 })
+        .exec(
+            &mut m.mem,
+            Instr::Wrmsr {
+                msr: cki::sim_hw::cpu::MSR_IA32_PKRS,
+                value: 4,
+            },
+        )
         .expect("set PKRS via wrmsr");
     assert_eq!(m.cpu.pkrs, 4);
     m.cpu.exec(&mut m.mem, Instr::Cli).expect("cli executes");
-    assert!(!m.cpu.rflags_if, "interrupts disabled: DoS on baseline hardware");
+    assert!(
+        !m.cpu.rflags_if,
+        "interrupts disabled: DoS on baseline hardware"
+    );
     m.cpu
-        .exec(&mut m.mem, Instr::WriteCr3 { value: 0xbad000, preserve_tlb: false })
+        .exec(
+            &mut m.mem,
+            Instr::WriteCr3 {
+                value: 0xbad000,
+                preserve_tlb: false,
+            },
+        )
         .expect("arbitrary CR3 load on baseline hardware");
 }
