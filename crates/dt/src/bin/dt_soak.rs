@@ -1,0 +1,194 @@
+//! dt-soak: drive the lockstep oracle over seed ranges.
+//!
+//! CI smoke:        dt-soak --seeds 0:64 --corpus tests/corpus
+//! Overnight soak:  dt-soak --seeds 0:100000
+//! Replay a seed:   dt-soak --replay-seed 0x5eed0007
+//! Replay a file:   dt-soak --replay-file tests/corpus/foo.dtprog
+//!
+//! Every failure prints the exact seed + op index needed to replay it and
+//! exits non-zero. Fault injection is on by default (`--no-inject` to
+//! disable).
+
+use std::process::ExitCode;
+
+use dt::{Oracle, Program, Schedule};
+
+struct Args {
+    seed_lo: u64,
+    seed_hi: u64,
+    max_len: usize,
+    inject: bool,
+    corpus: Option<String>,
+    replay_seed: Option<u64>,
+    replay_file: Option<String>,
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    }
+    .map_err(|e| format!("bad number '{s}': {e}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed_lo: 0,
+        seed_hi: 200,
+        max_len: 40,
+        inject: true,
+        corpus: None,
+        replay_seed: None,
+        replay_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--seeds" => {
+                let v = val("--seeds")?;
+                let (lo, hi) = v
+                    .split_once(':')
+                    .ok_or(format!("--seeds wants LO:HI, got '{v}'"))?;
+                args.seed_lo = parse_u64(lo)?;
+                args.seed_hi = parse_u64(hi)?;
+            }
+            "--max-len" => args.max_len = parse_u64(&val("--max-len")?)? as usize,
+            "--inject" => args.inject = true,
+            "--no-inject" => args.inject = false,
+            "--corpus" => args.corpus = Some(val("--corpus")?),
+            "--replay-seed" => args.replay_seed = Some(parse_u64(&val("--replay-seed")?)?),
+            "--replay-file" => args.replay_file = Some(val("--replay-file")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: dt-soak [--seeds LO:HI] [--max-len N] [--no-inject] \
+                     [--corpus DIR] [--replay-seed S] [--replay-file F]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_one(oracle: &Oracle, program: &Program, inject: bool, label: &str) -> bool {
+    let schedule = inject.then(|| Schedule::generate(program.seed, program.ops.len()));
+    match oracle.run(program, schedule.as_ref()) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("FAIL [{label}]\n{e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let oracle = Oracle::new();
+    let mut ran = 0u64;
+
+    // Replay modes run exactly one program each.
+    if let Some(seed) = args.replay_seed {
+        let p = Program::generate(seed, args.max_len);
+        println!("replaying seed {seed:#x}: {} ops", p.ops.len());
+        return if run_one(&oracle, &p, args.inject, &format!("seed {seed:#x}")) {
+            println!("seed {seed:#x}: OK");
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if let Some(path) = &args.replay_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let p = match Program::parse(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("replaying {path}: {} ops, seed {:#x}", p.ops.len(), p.seed);
+        return if run_one(&oracle, &p, args.inject, path) {
+            println!("{path}: OK");
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    // Corpus replay: every checked-in reproducer must stay green.
+    let mut ok = true;
+    if let Some(dir) = &args.corpus {
+        let mut paths: Vec<_> = match std::fs::read_dir(dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "dtprog"))
+                .collect(),
+            Err(e) => {
+                eprintln!("cannot read corpus dir {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        paths.sort();
+        for path in paths {
+            let label = path.display().to_string();
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {label}: {e}");
+                    ok = false;
+                    continue;
+                }
+            };
+            match Program::parse(&text) {
+                Ok(p) => {
+                    ok &= run_one(&oracle, &p, args.inject, &label);
+                    ran += 1;
+                }
+                Err(e) => {
+                    eprintln!("cannot parse {label}: {e}");
+                    ok = false;
+                }
+            }
+        }
+        println!("corpus: {ran} programs replayed");
+    }
+
+    // Seed sweep.
+    let total = args.seed_hi.saturating_sub(args.seed_lo);
+    for (done, seed) in (args.seed_lo..args.seed_hi).enumerate() {
+        let p = Program::generate(seed, args.max_len);
+        if !run_one(&oracle, &p, args.inject, &format!("seed {seed:#x}")) {
+            ok = false;
+        }
+        ran += 1;
+        if (done + 1) % 100 == 0 {
+            println!("… {}/{total} seeds", done + 1);
+        }
+    }
+    if ok {
+        println!(
+            "soak: {ran} programs × {} backends, injection {}: all invariants held, no divergence",
+            oracle.backends.len(),
+            if args.inject { "on" } else { "off" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,117 @@
+//! Architectural invariant checkers, run after every op and every injected
+//! fault event.
+//!
+//! Three families, matching the three layers a fault can corrupt:
+//!
+//! 1. **PKRS state machine** — at an op boundary the CPU must be back in a
+//!    legal quiescent state: `PKRS == pkrs_guest()` on CKI hardware (the
+//!    deprivileged guest key view), `PKRS == 0` everywhere else.
+//! 2. **TLB/page-table coherence** — every cached translation must still
+//!    agree with the live leaf PTE it was filled from: present, same pkey
+//!    and NX, writable only if the leaf allows it, and D set in the leaf
+//!    for every dirty-cached entry. A violation here means a missing
+//!    shootdown.
+//! 3. **Obs self-time** — the span profiler's exclusive-time bookkeeping
+//!    survived the injected control-flow (no unbalanced enter/exit, no
+//!    self > total).
+
+use cki::{Backend, Stack};
+use sim_mem::{pte, PAGE_SIZE};
+
+/// PKRS quiescent-state legality (§4.1: the third privilege level).
+pub fn check_pkrs(stack: &Stack) -> Result<(), String> {
+    let pkrs = stack.machine.cpu.pkrs;
+    if stack.backend.needs_cki_hw() {
+        let want = cki_core::pkrs_guest();
+        if pkrs != want {
+            return Err(format!(
+                "PKRS state machine: {:#x} at op boundary on {}, want {want:#x}",
+                pkrs,
+                stack.backend.name()
+            ));
+        }
+    } else if pkrs != 0 {
+        return Err(format!(
+            "PKRS state machine: {pkrs:#x} on non-CKI backend {}",
+            stack.backend.name()
+        ));
+    }
+    Ok(())
+}
+
+/// TLB/page-table coherence: no cached translation may contradict the PTE
+/// it caches. The TLB may *forget* (capacity, flush) but never *lie*.
+pub fn check_tlb(stack: &mut Stack) -> Result<(), String> {
+    // Under EPT the TLB caches host-physical frames while the guest leaf
+    // holds guest-physical ones, so the PA identity check only applies to
+    // non-stage-2 backends. Flag/permission checks apply everywhere.
+    let stage2 = matches!(
+        stack.backend,
+        Backend::HvmBm | Backend::HvmBm2M | Backend::HvmNested
+    );
+    let entries: Vec<_> = stack.machine.cpu.tlb.iter().collect();
+    if entries.len() > stack.machine.cpu.tlb.capacity() {
+        return Err(format!(
+            "TLB over capacity: {} > {}",
+            entries.len(),
+            stack.machine.cpu.tlb.capacity()
+        ));
+    }
+    for (va, pcid, e) in entries {
+        let leaf = stack.machine.mem.read_u64(e.leaf_slot);
+        let ident = format!(
+            "va {va:#x} pcid {pcid} leaf_slot {:#x} on {}",
+            e.leaf_slot,
+            stack.backend.name()
+        );
+        if !pte::present(leaf) {
+            return Err(format!(
+                "TLB stale: cached entry but leaf not present ({ident})"
+            ));
+        }
+        if e.writable && !pte::writable(leaf) {
+            return Err(format!(
+                "TLB stale: cached writable but leaf read-only ({ident})"
+            ));
+        }
+        if e.dirty && leaf & pte::D == 0 {
+            return Err(format!(
+                "TLB incoherent: dirty cached, D clear in leaf ({ident})"
+            ));
+        }
+        if pte::pkey(leaf) != e.pkey {
+            return Err(format!(
+                "TLB incoherent: pkey {} cached, {} in leaf ({ident})",
+                e.pkey,
+                pte::pkey(leaf)
+            ));
+        }
+        if ((leaf & pte::NX) != 0) != e.nx {
+            return Err(format!("TLB incoherent: NX mismatch ({ident})"));
+        }
+        if !stage2 && e.page_size == PAGE_SIZE && pte::addr(leaf) != e.page_pa {
+            return Err(format!(
+                "TLB stale: cached PA {:#x}, leaf maps {:#x} ({ident})",
+                e.page_pa,
+                pte::addr(leaf)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Obs self-time invariant (DESIGN.md §9): exclusive time never exceeds
+/// inclusive time and every span exit matched its enter.
+pub fn check_obs(stack: &Stack) -> Result<(), String> {
+    match stack.machine.cpu.profiler.self_time_violation() {
+        Some(v) => Err(format!("obs self-time: {v} on {}", stack.backend.name())),
+        None => Ok(()),
+    }
+}
+
+/// Runs all invariant families; returns the first violation.
+pub fn check_all(stack: &mut Stack) -> Result<(), String> {
+    check_pkrs(stack)?;
+    check_tlb(stack)?;
+    check_obs(stack)
+}

@@ -1,0 +1,127 @@
+//! Delta-debugging shrinker: reduce a diverging program to a minimal
+//! reproducer.
+//!
+//! Classic ddmin over the op list: try dropping chunks of halving size,
+//! keeping any candidate that still fails, until a pass at chunk size 1
+//! removes nothing. Because every op is closed over the program's small
+//! resource universe (slots, paths, fds), any subsequence is itself a
+//! valid program — the property that makes ddmin applicable at all.
+
+use crate::program::Program;
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimal failing program (seed preserved from the original).
+    pub program: Program,
+    /// How many candidate programs the shrinker executed.
+    pub attempts: usize,
+}
+
+/// Shrinks `program` while `still_fails` holds.
+///
+/// `still_fails` must return true for `program` itself (the caller has
+/// already observed the failure); the result is 1-minimal: removing any
+/// single remaining op makes the failure disappear.
+pub fn shrink<F>(program: &Program, mut still_fails: F) -> Shrunk
+where
+    F: FnMut(&Program) -> bool,
+{
+    let mut ops = program.ops.clone();
+    let mut attempts = 0;
+    let mut chunk = ops.len().div_ceil(2).max(1);
+    loop {
+        let mut any_removed = false;
+        let mut i = 0;
+        while i < ops.len() && ops.len() > 1 {
+            let mut candidate = ops[..i].to_vec();
+            candidate.extend_from_slice(&ops[(i + chunk).min(ops.len())..]);
+            if candidate.is_empty() {
+                i += chunk;
+                continue;
+            }
+            attempts += 1;
+            let cand = Program {
+                seed: program.seed,
+                ops: candidate,
+            };
+            if still_fails(&cand) {
+                ops = cand.ops;
+                any_removed = true;
+                // Same index now names the next chunk; don't advance.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !any_removed {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    Shrunk {
+        program: Program {
+            seed: program.seed,
+            ops,
+        },
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Op;
+
+    #[test]
+    fn shrinks_to_the_single_guilty_op() {
+        // Failure predicate: program contains Stat(2).
+        let p = Program::generate(1234, 40);
+        let mut ops = p.ops.clone();
+        ops.insert(ops.len() / 2, Op::Stat(2));
+        let p = Program { seed: 1234, ops };
+        let s = shrink(&p, |c| c.ops.contains(&Op::Stat(2)));
+        assert_eq!(s.program.ops, vec![Op::Stat(2)]);
+        assert!(s.attempts > 0);
+    }
+
+    #[test]
+    fn shrinks_op_pairs_to_the_pair() {
+        // Failure needs Fork somewhere before Stat(1).
+        let fails = |c: &Program| {
+            let f = c.ops.iter().position(|o| *o == Op::Fork);
+            let s = c.ops.iter().position(|o| *o == Op::Stat(1));
+            matches!((f, s), (Some(f), Some(s)) if f < s)
+        };
+        let mut ops = Program::generate(99, 30).ops;
+        ops.retain(|o| !matches!(o, Op::Fork | Op::Stat(_)));
+        ops.insert(0, Op::Fork);
+        ops.push(Op::Stat(1));
+        let p = Program { seed: 99, ops };
+        assert!(fails(&p));
+        let s = shrink(&p, fails);
+        assert_eq!(s.program.ops, vec![Op::Fork, Op::Stat(1)]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let fails = |c: &Program| c.ops.iter().filter(|o| **o == Op::Pipe).count() >= 3;
+        let ops = vec![Op::Pipe; 17];
+        let p = Program { seed: 0, ops };
+        let s = shrink(&p, fails);
+        assert_eq!(s.program.ops.len(), 3);
+        for i in 0..s.program.ops.len() {
+            let mut fewer = s.program.ops.clone();
+            fewer.remove(i);
+            assert!(
+                !fails(&Program {
+                    seed: 0,
+                    ops: fewer
+                }),
+                "not 1-minimal at {i}"
+            );
+        }
+    }
+}

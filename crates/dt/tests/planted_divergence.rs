@@ -1,0 +1,85 @@
+//! Oracle self-test: a deliberately planted backend divergence must be
+//! detected, attributed to the right backend and op, shrunk to a minimal
+//! reproducer, and the emitted corpus file must replay to the same
+//! divergence. This is the end-to-end proof that the harness would catch
+//! a real compatibility bug.
+
+use cki::Backend;
+use dt::{DtError, Op, Oracle, PlantedBug, Program};
+
+fn planted_oracle() -> Oracle {
+    let mut oracle = Oracle::new();
+    oracle.cfg.planted_bug = Some(PlantedBug::StatLies(Backend::CkiNested));
+    oracle
+}
+
+fn diverges(oracle: &Oracle, p: &Program) -> Option<dt::Divergence> {
+    match oracle.run(p, None) {
+        Err(DtError::Divergence(d)) => Some(*d),
+        _ => None,
+    }
+}
+
+#[test]
+fn planted_divergence_is_caught_shrunk_and_replayable() {
+    let oracle = planted_oracle();
+
+    // A realistic program with the guilty op buried in the middle.
+    let mut ops = Program::generate(0x009A_57ED, 12).ops;
+    ops.retain(|o| !matches!(o, Op::Stat(_)));
+    ops.insert(ops.len() / 2, Op::Stat(2));
+    let program = Program {
+        seed: 0x009A_57ED,
+        ops,
+    };
+
+    // 1. Detection: the lockstep oracle pinpoints the op and the backend.
+    let d = diverges(&oracle, &program).expect("planted bug must diverge");
+    assert_eq!(d.op, Op::Stat(2), "first diverging op is the planted one");
+    assert_eq!(d.divergent.0, Backend::CkiNested);
+    let lying = d
+        .results
+        .iter()
+        .find(|(b, _)| *b == Backend::CkiNested)
+        .unwrap()
+        .1;
+    let honest = d
+        .results
+        .iter()
+        .find(|(b, _)| *b == Backend::RunC)
+        .unwrap()
+        .1;
+    assert_ne!(lying, honest);
+
+    // 2. The report prints everything needed to replay: seed + op index.
+    let report = d.to_string();
+    assert!(report.contains("0x9a57ed"), "seed in report: {report}");
+    assert!(report.contains(&format!("op {}", d.op_index)), "{report}");
+    assert!(report.contains("CKI-NST"), "{report}");
+
+    // 3. Shrinking: down to ≤ 5 ops (here: exactly the guilty op).
+    let shrunk = dt::shrink(&program, |c| diverges(&oracle, c).is_some());
+    assert!(
+        shrunk.program.ops.len() <= 5,
+        "shrunk to {} ops: {:?}",
+        shrunk.program.ops.len(),
+        shrunk.program.ops
+    );
+    assert!(shrunk.program.ops.contains(&Op::Stat(2)));
+
+    // 4. The emitted corpus file replays to the same divergence.
+    let path = std::env::temp_dir().join("dt_planted_reproducer.dtprog");
+    std::fs::write(&path, shrunk.program.to_text()).expect("write reproducer");
+    let replayed = Program::parse(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+    assert_eq!(replayed, shrunk.program, "corpus roundtrip");
+    let d2 = diverges(&oracle, &replayed).expect("reproducer still diverges");
+    assert_eq!(d2.op, Op::Stat(2));
+    assert_eq!(d2.divergent.0, Backend::CkiNested);
+    let _ = std::fs::remove_file(&path);
+
+    // 5. Sanity: without the planted bug the same program is clean.
+    assert!(
+        diverges(&Oracle::new(), &program).is_none(),
+        "program is clean on an honest oracle"
+    );
+}

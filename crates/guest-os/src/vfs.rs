@@ -118,6 +118,19 @@ impl TmpFs {
         data[offset as usize..end].copy_from_slice(bytes);
     }
 
+    /// Snapshot of the namespace: `(path, size)` pairs sorted by path.
+    /// Cost-free (no lookup charge) — used by differential-testing probes
+    /// to compare the VFS view across backends.
+    pub fn entries(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .names
+            .iter()
+            .map(|(p, &ino)| (p.clone(), self.inodes[ino].data.len() as u64))
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Number of path lookups performed (cost instrumentation).
     pub fn lookups(&self) -> u64 {
         self.lookups

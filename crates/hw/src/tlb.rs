@@ -169,6 +169,24 @@ impl Tlb {
         self.entries.keys().filter(|k| k.pcid == pcid).count()
     }
 
+    /// Configured entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over every cached translation as `(va, pcid, entry)`.
+    ///
+    /// The VA is reconstructed from the tag (page-aligned); global entries
+    /// report PCID `0xffff`. Intended for coherence checkers that want to
+    /// re-validate every cached entry against the live page tables.
+    pub fn iter(&self) -> impl Iterator<Item = (Virt, u16, TlbEntry)> + '_ {
+        self.entries.iter().map(|(k, (e, _))| {
+            let shift = k.vpn >> 56;
+            let va = (k.vpn & ((1u64 << 56) - 1)) << shift;
+            (va, k.pcid, *e)
+        })
+    }
+
     fn evict_one(&mut self) {
         // Approximate LRU: evict the stalest of a small sample. HashMap
         // iteration order is effectively arbitrary, which matches the
@@ -282,5 +300,201 @@ mod tests {
         // Any address within the 2 MiB page should hit.
         assert!(t.lookup(0x4010_2345, 1).is_some());
         assert!(t.lookup(0x4020_0000, 1).is_none());
+    }
+
+    #[test]
+    fn iter_reconstructs_vas() {
+        let mut t = Tlb::new(16);
+        t.insert(0x7_f000, 3, entry(0xa000));
+        let mut g = entry(0xb000);
+        g.global = true;
+        g.page_size = 2 * 1024 * 1024;
+        t.insert(0x40_0000, 3, g);
+        let mut seen: Vec<_> = t.iter().collect();
+        seen.sort_by_key(|&(va, _, _)| va);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], (0x7_f000, 3, entry(0xa000)));
+        assert_eq!(seen[1].0, 0x40_0000);
+        assert_eq!(seen[1].1, 0xffff, "globals live under PCID 0xffff");
+    }
+
+    // ---- Property tests: the TLB may forget, but must never lie ----------
+    //
+    // A reference model mirrors the architectural contract (PCID tagging,
+    // global entries, both page sizes, exact invlpg/flush semantics) with
+    // unlimited capacity. After every random operation: any TLB hit must
+    // match an entry the model could legally return for that (va, pcid),
+    // and any (va, pcid) absent from the model must miss — a stale hit is
+    // a coherence violation. Capacity stays bounded throughout.
+
+    mod prop {
+        use super::*;
+        use obs::rng::SmallRng;
+        use std::collections::HashMap;
+
+        /// Reference model keyed exactly like the TLB's tag.
+        struct RefModel {
+            map: HashMap<(u64, u16), TlbEntry>,
+        }
+
+        impl RefModel {
+            fn new() -> Self {
+                Self {
+                    map: HashMap::new(),
+                }
+            }
+
+            fn insert(&mut self, va: Virt, pcid: u16, e: TlbEntry) {
+                let shift = if e.page_size == PAGE_SIZE { 12 } else { 21 };
+                let pcid = if e.global { 0xffff } else { pcid };
+                self.map.insert((va >> shift | (shift << 56), pcid), e);
+            }
+
+            fn flush_va(&mut self, va: Virt, pcid: u16) {
+                for shift in [12u64, 21u64] {
+                    self.map.remove(&(va >> shift | (shift << 56), pcid));
+                    self.map.remove(&(va >> shift | (shift << 56), 0xffff));
+                }
+            }
+
+            fn flush_pcid(&mut self, pcid: u16) {
+                self.map.retain(|k, _| k.1 != pcid);
+            }
+
+            /// Every entry the hardware could legally return for (va, pcid).
+            fn candidates(&self, va: Virt, pcid: u16) -> Vec<TlbEntry> {
+                let mut v = Vec::new();
+                for shift in [12u64, 21u64] {
+                    for p in [pcid, 0xffff] {
+                        if let Some(e) = self.map.get(&(va >> shift | (shift << 56), p)) {
+                            v.push(*e);
+                        }
+                    }
+                }
+                v
+            }
+        }
+
+        fn rand_entry(rng: &mut SmallRng, va: Virt, pcid: u16) -> TlbEntry {
+            let huge = rng.gen_bool(0.2);
+            let global = rng.gen_bool(0.15);
+            TlbEntry {
+                // Tag the frame with its identity so a cross-PCID or stale
+                // hit is unmistakable.
+                page_pa: (va << 8) | if global { 0xff } else { pcid as u64 },
+                page_size: if huge { 2 * 1024 * 1024 } else { PAGE_SIZE },
+                writable: rng.gen_bool(0.5),
+                user: true,
+                nx: rng.gen_bool(0.5),
+                pkey: rng.gen_range(0u8..4),
+                global,
+                leaf_slot: 0,
+                dirty: false,
+            }
+        }
+
+        fn check_agree(t: &mut Tlb, model: &RefModel, va: Virt, pcid: u16) {
+            // A miss is always legal (finite capacity); a hit must be real.
+            if let Some(hit) = t.lookup(va, pcid) {
+                let cands = model.candidates(va, pcid);
+                assert!(
+                    cands.contains(&hit),
+                    "stale/foreign hit at va={va:#x} pcid={pcid}: {hit:?} \
+                     not among {} model candidates",
+                    cands.len()
+                );
+            }
+        }
+
+        #[test]
+        fn random_sequences_never_yield_stale_or_foreign_hits() {
+            for seed in 0..8u64 {
+                let mut rng = SmallRng::seed_from_u64(0x71b_0000 + seed);
+                let mut t = Tlb::new(32);
+                let mut model = RefModel::new();
+                let pcids = [1u16, 2, 3];
+                // VAs chosen so 4 KiB and 2 MiB tags overlap and collide.
+                let va_of = |i: u64| (i % 48) * PAGE_SIZE + (i % 3) * 0x20_0000;
+                for step in 0..2000u64 {
+                    let va = va_of(rng.gen::<u64>());
+                    let pcid = pcids[rng.gen_range(0usize..3)];
+                    match rng.gen_range(0u32..10) {
+                        0..=4 => {
+                            let e = rand_entry(&mut rng, va, pcid);
+                            t.insert(va, pcid, e);
+                            model.insert(va, pcid, e);
+                        }
+                        5 => {
+                            t.flush_va(va, pcid);
+                            model.flush_va(va, pcid);
+                        }
+                        6 => {
+                            // A CR3 switch without the preserve bit.
+                            t.flush_pcid(pcid);
+                            model.flush_pcid(pcid);
+                        }
+                        7 if step % 97 == 0 => {
+                            t.flush_all();
+                            model.map.clear();
+                        }
+                        _ => check_agree(&mut t, &model, va, pcid),
+                    }
+                    assert!(t.len() <= 32, "capacity exceeded at step {step}");
+                    // Probe a second random point each step.
+                    let pva = va_of(rng.gen::<u64>());
+                    check_agree(&mut t, &model, pva, pcids[rng.gen_range(0usize..3)]);
+                }
+            }
+        }
+
+        #[test]
+        fn pcid_flush_is_exact_under_churn() {
+            for seed in 0..4u64 {
+                let mut rng = SmallRng::seed_from_u64(0xac1d_0000 + seed);
+                let mut t = Tlb::new(64);
+                let mut model = RefModel::new();
+                for _ in 0..300 {
+                    let va = (rng.gen::<u64>() % 64) * PAGE_SIZE;
+                    let pcid = 1 + (rng.gen::<u64>() % 3) as u16;
+                    let e = rand_entry(&mut rng, va, pcid);
+                    t.insert(va, pcid, e);
+                    model.insert(va, pcid, e);
+                }
+                t.flush_pcid(2);
+                model.flush_pcid(2);
+                assert_eq!(t.count_pcid(2), 0, "flushed PCID fully gone");
+                // Survivors (other PCIDs + globals) must still validate, and
+                // nothing tagged PCID 2 may ever surface again.
+                for i in 0..64u64 {
+                    for pcid in [1u16, 2, 3] {
+                        let va = i * PAGE_SIZE;
+                        if let Some(hit) = t.lookup(va, pcid) {
+                            assert!(
+                                model.candidates(va, pcid).contains(&hit),
+                                "post-flush stale hit va={va:#x} pcid={pcid}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn eviction_preserves_validity_at_tiny_capacity() {
+            // Heavy pressure on an 8-entry TLB: every surviving entry must
+            // still be one the model knows, at every step.
+            let mut rng = SmallRng::seed_from_u64(0xe71c);
+            let mut t = Tlb::new(8);
+            let mut model = RefModel::new();
+            for _ in 0..1500 {
+                let va = (rng.gen::<u64>() % 128) * PAGE_SIZE;
+                let e = rand_entry(&mut rng, va, 1);
+                t.insert(va, 1, e);
+                model.insert(va, 1, e);
+                assert!(t.len() <= 8);
+                let probe = (rng.gen::<u64>() % 128) * PAGE_SIZE;
+                check_agree(&mut t, &model, probe, 1);
+            }
+        }
     }
 }

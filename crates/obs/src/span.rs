@@ -232,6 +232,28 @@ impl SpanProfiler {
         v
     }
 
+    /// Checks the profiler's structural invariant: every exit matched its
+    /// enter (`mismatches == 0`) and no span's exclusive (self) time
+    /// exceeds its inclusive (total) time. Returns the first violation as
+    /// a human-readable description, or `None` when consistent.
+    ///
+    /// Fault-injection harnesses call this after every injected event: an
+    /// interrupt or fault that unwinds past a `span_exit` shows up here
+    /// long before it corrupts a report.
+    pub fn self_time_violation(&self) -> Option<String> {
+        if self.mismatches > 0 {
+            return Some(format!("{} out-of-order span exits", self.mismatches));
+        }
+        self.agg.iter().find_map(|(&name, s)| {
+            (s.self_cycles > s.total_cycles).then(|| {
+                format!(
+                    "span '{name}': self {} > total {} cycles",
+                    s.self_cycles, s.total_cycles
+                )
+            })
+        })
+    }
+
     /// Discards all events and aggregates (keeps the enabled flag).
     pub fn clear(&mut self) {
         self.stack.clear();

@@ -1,117 +1,125 @@
 //! Functional equivalence across backends: the same programs produce the
 //! same *results* everywhere — only the costs differ. This is the
 //! "container binary compatibility" column of the paper's Table 1.
+//!
+//! The heavy lifting (op IR, lockstep comparison, state snapshots,
+//! divergence reporting) lives in `crates/dt`; this file drives the
+//! oracle over all 8 backends and keeps a couple of hand-written checks
+//! for paths the IR does not model (execve) and for cost separation.
 
-use cki::guest_os::{Errno, Fd, Sys};
+use cki::guest_os::Sys;
 use cki::{Backend, Stack, StackConfig};
+use dt::{Op, Oracle, Program, Schedule, ALL_BACKENDS};
 
-const ALL: [Backend; 8] = [
-    Backend::RunC,
-    Backend::HvmBm,
-    Backend::HvmBm2M,
-    Backend::HvmNested,
-    Backend::Pvm,
-    Backend::PvmNested,
-    Backend::Cki,
-    Backend::CkiNested,
-];
-
-/// Runs a little "application" and returns a functional fingerprint.
-fn program_fingerprint(backend: Backend) -> Vec<u64> {
-    let mut stack = Stack::new(backend, StackConfig::default());
-    let mut env = stack.env();
-    let mut out = Vec::new();
-
-    // Files.
-    let buf = env.mmap(64 * 1024).unwrap();
-    let fd = env
-        .sys(Sys::Open {
-            path: "/data/x",
-            create: true,
-            trunc: false,
-        })
-        .unwrap() as Fd;
-    out.push(env.sys(Sys::Write { fd, buf, len: 3000 }).unwrap());
-    out.push(
-        env.sys(Sys::Pread {
-            fd,
-            buf,
-            len: 9999,
-            offset: 1000,
-        })
-        .unwrap(),
-    );
-    out.push(env.sys(Sys::Stat { path: "/data/x" }).unwrap());
-    out.push(env.sys(Sys::Unlink { path: "/data/x" }).unwrap());
-    out.push(matches!(env.sys(Sys::Stat { path: "/data/x" }), Err(Errno::NoEnt)) as u64);
-
-    // Memory.
-    let region = env.mmap(32 * 4096).unwrap();
-    env.touch_range(region, 32 * 4096, true).unwrap();
-    out.push(env.kernel.stats().pgfaults);
-    env.sys(Sys::Mprotect {
-        addr: region,
-        len: 4096,
-        write: false,
-    })
-    .unwrap();
-    out.push(matches!(env.touch(region, true), Err(Errno::Fault)) as u64);
-    out.push(env.touch(region + 4096, true).is_ok() as u64);
-    out.push(
-        env.sys(Sys::Munmap {
-            addr: region,
-            len: 32 * 4096,
-        })
-        .unwrap(),
-    );
-
-    // Processes.
-    let child = env.sys(Sys::Fork).unwrap();
-    out.push(child);
-    let child = child as u32;
-    let kernel = &mut *env.kernel;
-    let machine = &mut *env.machine;
-    kernel.context_switch(machine, child).unwrap();
-    kernel.syscall(machine, Sys::Execve).unwrap();
-    kernel.syscall(machine, Sys::Exit { code: 3 }).unwrap();
-    kernel.context_switch(machine, 1).unwrap();
-    out.push(kernel.syscall(machine, Sys::Wait).unwrap());
-    out.push(kernel.nprocs() as u64);
-
-    // Pipes.
-    let fds = kernel.syscall(machine, Sys::PipeCreate).unwrap();
-    let (rfd, wfd) = ((fds >> 32) as Fd, (fds & 0xffff_ffff) as Fd);
-    kernel
-        .syscall(
-            machine,
-            Sys::Write {
-                fd: wfd,
-                buf,
-                len: 77,
-            },
-        )
-        .unwrap();
-    out.push(
-        kernel
-            .syscall(
-                machine,
-                Sys::Read {
-                    fd: rfd,
-                    buf,
-                    len: 500,
-                },
-            )
-            .unwrap(),
-    );
-    out
-}
-
+/// A hand-written "application" driven through the lockstep oracle: the
+/// op results *and* the functional state snapshot (process table, VFS
+/// view, mapped-region contents) must agree across all 8 backends after
+/// every single op.
 #[test]
 fn same_program_same_results_everywhere() {
-    let reference = program_fingerprint(Backend::RunC);
-    for backend in ALL {
-        let fp = program_fingerprint(backend);
-        assert_eq!(fp, reference, "behaviour diverged on {}", backend.name());
+    let program = Program {
+        seed: 0,
+        ops: vec![
+            // Files.
+            Op::Open(0),
+            Op::WriteFd { fd: 3, len: 3000 },
+            Op::PreadFd {
+                fd: 3,
+                len: 2000,
+                off: 1000,
+            },
+            Op::Stat(0),
+            Op::Unlink(0),
+            Op::Stat(0),
+            // Memory: demand faults, downgrade, fault on RO, remap.
+            Op::Mmap { pages: 8, slot: 1 },
+            Op::TouchRegion {
+                region: 1,
+                page: 0,
+                write: true,
+            },
+            Op::Mprotect {
+                region: 1,
+                write: false,
+            },
+            Op::TouchRegion {
+                region: 1,
+                page: 0,
+                write: true,
+            },
+            Op::MunmapRegion(1),
+            Op::Brk { incr: 8192 },
+            // Processes.
+            Op::Fork,
+            Op::SwitchNext,
+            Op::Getpid,
+            Op::ExitIfChild,
+            // Pipes + sockets + net.
+            Op::Pipe,
+            Op::SocketPair,
+            Op::NetSocket,
+            Op::NetRecv { len: 512 },
+            Op::NetSend { len: 512 },
+            Op::NetFlush,
+        ],
+    };
+    if let Err(e) = Oracle::new().run(&program, None) {
+        panic!("{e}");
+    }
+}
+
+/// Every checked-in reproducer in `tests/corpus/` must replay clean —
+/// with its seeded fault-injection schedule — across all 8 backends.
+#[test]
+fn corpus_reproducers_stay_green() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let oracle = Oracle::new();
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dtprog"))
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "corpus must hold at least one reproducer"
+    );
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("read corpus file");
+        let program = Program::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let schedule = Schedule::generate(program.seed, program.ops.len());
+        if let Err(e) = oracle.run(&program, Some(&schedule)) {
+            panic!("{}:\n{e}", path.display());
+        }
+    }
+}
+
+/// Execve is not part of the dt IR (it resets the address space, which
+/// would invalidate region slots); check its fingerprint by hand.
+#[test]
+fn execve_fingerprint_agrees() {
+    let fingerprint = |backend: Backend| -> Vec<u64> {
+        let mut stack = Stack::new(backend, StackConfig::default());
+        let mut env = stack.env();
+        let child = env.sys(Sys::Fork).unwrap();
+        let kernel = &mut *env.kernel;
+        let machine = &mut *env.machine;
+        kernel.context_switch(machine, child as u32).unwrap();
+        kernel.syscall(machine, Sys::Execve).unwrap();
+        kernel.syscall(machine, Sys::Exit { code: 3 }).unwrap();
+        kernel.context_switch(machine, 1).unwrap();
+        let waited = kernel.syscall(machine, Sys::Wait).unwrap();
+        vec![child, waited, kernel.nprocs() as u64]
+    };
+    let reference = fingerprint(Backend::RunC);
+    for backend in ALL_BACKENDS {
+        assert_eq!(
+            fingerprint(backend),
+            reference,
+            "execve behaviour diverged on {}",
+            backend.name()
+        );
     }
 }
 

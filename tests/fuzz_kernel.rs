@@ -1,204 +1,64 @@
 //! Fuzz-style robustness: random syscall sequences against every backend
 //! must never panic, never corrupt kernel invariants, and behave
-//! identically across backends. Scripts are generated from deterministic
-//! seeded streams so the suite is reproducible and builds offline.
+//! identically across backends.
+//!
+//! The op IR, seeded generator, lockstep comparison and failure reporting
+//! all live in `crates/dt`; this file is a thin driver choosing backend
+//! pairs and seed ranges. Any failure message prints the exact seed and
+//! op index needed to replay it (`dt-soak --replay-seed …`).
 
-use cki::{Backend, Stack, StackConfig};
-use guest_os::{Errno, Fd, Sys};
-use obs::rng::SmallRng;
+use cki::Backend;
+use dt::{Oracle, Program, Schedule};
 
-/// One scripted operation.
-#[derive(Debug, Clone, Copy)]
-enum Op {
-    Getpid,
-    Open(u8),
-    WriteFd { fd: u8, len: u16 },
-    ReadFd { fd: u8, len: u16 },
-    CloseFd(u8),
-    Mmap { pages: u8 },
-    TouchRegion { region: u8, page: u8, write: bool },
-    MunmapRegion(u8),
-    Mprotect { region: u8, write: bool },
-    Fork,
-    SwitchNext,
-    ExitIfChild,
-    Stat(u8),
-    Pipe,
-}
-
-fn random_op(rng: &mut SmallRng) -> Op {
-    match rng.gen_range(0u32..14) {
-        0 => Op::Getpid,
-        1 => Op::Open(rng.gen_range(0u8..4)),
-        2 => Op::WriteFd {
-            fd: rng.gen_range(0u8..8),
-            len: rng.gen_range(1u16..5000),
-        },
-        3 => Op::ReadFd {
-            fd: rng.gen_range(0u8..8),
-            len: rng.gen_range(1u16..5000),
-        },
-        4 => Op::CloseFd(rng.gen_range(0u8..8)),
-        5 => Op::Mmap {
-            pages: rng.gen_range(1u8..16),
-        },
-        6 => Op::TouchRegion {
-            region: rng.gen_range(0u8..4),
-            page: rng.gen_range(0u8..16),
-            write: rng.gen(),
-        },
-        7 => Op::MunmapRegion(rng.gen_range(0u8..4)),
-        8 => Op::Mprotect {
-            region: rng.gen_range(0u8..4),
-            write: rng.gen(),
-        },
-        9 => Op::Fork,
-        10 => Op::SwitchNext,
-        11 => Op::ExitIfChild,
-        12 => Op::Stat(rng.gen_range(0u8..4)),
-        _ => Op::Pipe,
+/// Runs `cases` seeded programs on `backends` in lockstep, optionally
+/// with a seeded fault-injection schedule, panicking with the oracle's
+/// replayable report on the first divergence or invariant violation.
+fn sweep(backends: Vec<Backend>, base_seed: u64, cases: u64, max_len: usize, inject: bool) {
+    let oracle = Oracle::over(backends);
+    for case in 0..cases {
+        let program = Program::generate(base_seed + case, max_len);
+        let schedule = inject.then(|| Schedule::generate(program.seed, program.ops.len()));
+        if let Err(e) = oracle.run(&program, schedule.as_ref()) {
+            panic!("case {case}:\n{e}");
+        }
     }
-}
-
-fn random_script(seed: u64, max_len: usize) -> Vec<Op> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let len = rng.gen_range(1usize..max_len);
-    (0..len).map(|_| random_op(&mut rng)).collect()
-}
-
-/// Runs a script and returns a functional fingerprint (results of each op).
-fn run_script(backend: Backend, ops: &[Op]) -> Vec<i64> {
-    let mut stack = Stack::new(backend, StackConfig::default());
-    let mut rng = SmallRng::seed_from_u64(99);
-    let mut regions: Vec<Option<(u64, u64)>> = vec![None; 4];
-    let mut pids = vec![1u32];
-    let mut fingerprint = Vec::new();
-    let buf = {
-        let mut env = stack.env();
-        let b = env.mmap(64 * 1024).unwrap();
-        env.touch_range(b, 64 * 1024, true).unwrap();
-        b
-    };
-    let enc = |r: Result<u64, Errno>| match r {
-        Ok(v) => v as i64,
-        Err(e) => -(e as i64 + 1),
-    };
-    for &op in ops {
-        let mut env = stack.env();
-        let v = match op {
-            Op::Getpid => enc(env.sys(Sys::Getpid)),
-            Op::Open(i) => {
-                let path = ["/a", "/b", "/c", "/d"][i as usize];
-                enc(env.sys(Sys::Open {
-                    path,
-                    create: true,
-                    trunc: false,
-                }))
-            }
-            Op::WriteFd { fd, len } => enc(env.sys(Sys::Write {
-                fd: fd as Fd,
-                buf,
-                len: len as usize,
-            })),
-            Op::ReadFd { fd, len } => enc(env.sys(Sys::Read {
-                fd: fd as Fd,
-                buf,
-                len: len as usize,
-            })),
-            Op::CloseFd(fd) => enc(env.sys(Sys::Close { fd: fd as Fd })),
-            Op::Mmap { pages } => {
-                let r = env.sys(Sys::Mmap {
-                    len: pages as u64 * 4096,
-                    write: true,
-                });
-                if let Ok(base) = r {
-                    let slot = rng.gen_range(0usize..4);
-                    regions[slot] = Some((base, pages as u64 * 4096));
-                }
-                enc(r)
-            }
-            Op::TouchRegion {
-                region,
-                page,
-                write,
-            } => match regions[region as usize % 4] {
-                Some((base, len)) => {
-                    let va = base + (page as u64 * 4096) % len;
-                    enc(env.touch(va, write).map(|_| 1))
-                }
-                None => -100,
-            },
-            Op::MunmapRegion(i) => match regions[i as usize % 4].take() {
-                Some((base, len)) => enc(env.sys(Sys::Munmap { addr: base, len })),
-                None => -100,
-            },
-            Op::Mprotect { region, write } => match regions[region as usize % 4] {
-                Some((base, len)) => enc(env.sys(Sys::Mprotect {
-                    addr: base,
-                    len,
-                    write,
-                })),
-                None => -100,
-            },
-            Op::Fork => {
-                let r = env.sys(Sys::Fork);
-                if let Ok(pid) = r {
-                    pids.push(pid as u32);
-                }
-                enc(r)
-            }
-            Op::SwitchNext => {
-                let cur = env.kernel.current;
-                let pos = pids.iter().position(|&p| p == cur).unwrap_or(0);
-                let next = pids[(pos + 1) % pids.len()];
-                let kernel = &mut *env.kernel;
-                let machine = &mut *env.machine;
-                enc(kernel.context_switch(machine, next).map(|_| next as u64))
-            }
-            Op::ExitIfChild => {
-                if env.kernel.current != 1 {
-                    let cur = env.kernel.current;
-                    pids.retain(|&p| p != cur);
-                    let kernel = &mut *env.kernel;
-                    let machine = &mut *env.machine;
-                    let r = kernel.syscall(machine, Sys::Exit { code: 0 });
-                    kernel.context_switch(machine, 1).unwrap();
-                    let _ = kernel.syscall(machine, Sys::Wait);
-                    enc(r)
-                } else {
-                    -101
-                }
-            }
-            Op::Stat(i) => {
-                let path = ["/a", "/b", "/c", "/d"][i as usize];
-                enc(env.sys(Sys::Stat { path }))
-            }
-            Op::Pipe => enc(env.sys(Sys::PipeCreate)),
-        };
-        fingerprint.push(v);
-    }
-    fingerprint
 }
 
 /// No panic, and functional equivalence between RunC and CKI, under
 /// arbitrary operation scripts.
 #[test]
 fn random_scripts_agree_runc_vs_cki() {
-    for case in 0..24u64 {
-        let ops = random_script(0x5EED_0000 + case, 40);
-        let a = run_script(Backend::RunC, &ops);
-        let b = run_script(Backend::Cki, &ops);
-        assert_eq!(a, b, "case {case}: {ops:?}");
-    }
+    sweep(
+        vec![Backend::RunC, Backend::Cki],
+        0x5EED_0000,
+        24,
+        40,
+        false,
+    );
 }
 
 /// PVM and nested HVM also agree (slow, fewer cases).
 #[test]
 fn random_scripts_agree_pvm_vs_hvm_nested() {
-    for case in 0..12u64 {
-        let ops = random_script(0xBEEF_0000 + case, 24);
-        let a = run_script(Backend::Pvm, &ops);
-        let b = run_script(Backend::HvmNested, &ops);
-        assert_eq!(a, b, "case {case}: {ops:?}");
-    }
+    sweep(
+        vec![Backend::Pvm, Backend::HvmNested],
+        0xBEEF_0000,
+        12,
+        24,
+        false,
+    );
+}
+
+/// Scheduled fault injection (TLB shootdowns, timer ticks, mid-gate
+/// interrupts, forced fault paths) must not break lockstep equivalence
+/// or any invariant on the CKI backends vs the RunC reference.
+#[test]
+fn random_scripts_survive_fault_injection() {
+    sweep(
+        vec![Backend::RunC, Backend::Cki, Backend::CkiNested],
+        0xFA17_0000,
+        8,
+        24,
+        true,
+    );
 }
