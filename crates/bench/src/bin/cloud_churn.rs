@@ -1,0 +1,186 @@
+//! Closed-loop serverless churn on one CKI host.
+//!
+//! Thousands of start → invoke → stop cycles with mixed container sizes,
+//! exercising the control plane's three mechanisms end to end:
+//! snapshot-clone cold starts, best-fit segment placement, and explicit
+//! compaction when churn fragments the pool anyway (§4.3). Emits
+//! `results/BENCH_cloud_churn.json` with cold-start and clone-start
+//! cycle costs, invoke latency percentiles, and fragmentation/compaction
+//! accounting.
+//!
+//! ```sh
+//! CKI_BENCH_SCALE=quick cargo run --release --bin cloud_churn
+//! ```
+
+use std::fmt::Write as _;
+
+use cki::{CloudHost, HostError, StartSpec};
+use cki_bench::Scale;
+use guest_os::Sys;
+use obs::rng::SmallRng;
+
+const MIB: u64 = 1024 * 1024;
+
+/// Mixed fleet: the size classes a multi-tenant host actually sees.
+const SIZES_MIB: [u64; 4] = [16, 24, 32, 48];
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cycles = scale.n(2500);
+    // Pool ≈ 3 GiB: tight enough that a ~100-container mixed fleet runs
+    // the pool near capacity, where churn fragments the free space.
+    let mut host = CloudHost::new(6656 * MIB, 512 * MIB);
+    let mut rng = SmallRng::seed_from_u64(0x5eed_c10d);
+
+    // Phase 1 — start-path cost: cold boot vs snapshot clone of the same
+    // configuration (the template itself boots outside the measurement).
+    let spec = StartSpec::new(64 * MIB).with_warmup_pages(64);
+    host.ensure_template(&spec).unwrap();
+    let samples = scale.n(64).min(16);
+    let mut boot_cycles = Vec::new();
+    let mut clone_cycles = Vec::new();
+    for _ in 0..samples {
+        let mark = host.machine.cpu.clock.mark();
+        let id = host.start(spec).unwrap();
+        boot_cycles.push(host.machine.cpu.clock.since(mark));
+        host.stop_container(id).unwrap();
+
+        let mark = host.machine.cpu.clock.mark();
+        let id = host.start(spec.cloned()).unwrap();
+        clone_cycles.push(host.machine.cpu.clock.since(mark));
+        host.stop_container(id).unwrap();
+    }
+    let mean = |v: &[u64]| v.iter().sum::<u64>() / v.len().max(1) as u64;
+    let (boot_mean, clone_mean) = (mean(&boot_cycles), mean(&clone_cycles));
+    let ratio = boot_mean as f64 / clone_mean.max(1) as f64;
+
+    // Phase 2 — closed-loop churn: every cycle clones a container of a
+    // random size class, invokes it, and (once the fleet is warm) stops a
+    // random victim. On a fragmentation failure the host compacts and
+    // retries — an unrecovered failure is fatal to the benchmark.
+    // Sized so the fleet occupies most of the pool: with mixed sizes and
+    // random victim selection this reliably fragments the free space.
+    let fleet_target = 100usize;
+    let mut fleet: Vec<cki::ContainerId> = Vec::new();
+    let mut invoke_cycles: Vec<u64> = Vec::new();
+    let mut compactions = 0u64;
+    let mut compaction_cycles = 0u64;
+    let mut pages_migrated = 0u64;
+    let mut recovered_stalls = 0u64;
+    for i in 0..cycles {
+        let size = SIZES_MIB[rng.gen_range(0..SIZES_MIB.len() as u64) as usize] * MIB;
+        // Capacity management is the scheduler's job: evict until the
+        // request *fits in total free memory*. Any start failure past this
+        // point is fragmentation, which compaction must recover.
+        while host.free_bytes() < size && !fleet.is_empty() {
+            let victim = fleet.swap_remove(rng.gen_range(0..fleet.len() as u64) as usize);
+            host.stop_container(victim).unwrap();
+        }
+        let spec = StartSpec::new(size).with_warmup_pages(8).cloned();
+        let id = match host.start(spec) {
+            Ok(id) => id,
+            Err(HostError::OutOfContiguousMemory) => {
+                let report = host.compact();
+                compactions += 1;
+                compaction_cycles += report.cycles;
+                pages_migrated += report.pages_migrated;
+                recovered_stalls += 1;
+                host.start(spec).unwrap_or_else(|e| {
+                    panic!("cycle {i}: start failed even after compaction: {e}")
+                })
+            }
+            Err(e) => panic!("cycle {i}: {e}"),
+        };
+        fleet.push(id);
+
+        let work = 4096 * rng.gen_range(1..17);
+        let mark = host.machine.cpu.clock.mark();
+        host.enter(id, |env| {
+            assert_eq!(env.sys(Sys::Getpid).unwrap(), 1);
+            let base = env.mmap(work).unwrap();
+            env.touch_range(base, work, true).unwrap();
+        })
+        .unwrap();
+        invoke_cycles.push(host.machine.cpu.clock.since(mark));
+
+        if fleet.len() > fleet_target {
+            let victim = fleet.swap_remove(rng.gen_range(0..fleet.len() as u64) as usize);
+            host.stop_container(victim).unwrap();
+        }
+    }
+    for id in fleet.drain(..) {
+        host.stop_container(id).unwrap();
+    }
+
+    invoke_cycles.sort_unstable();
+    let snap = host.machine.cpu.metrics.snapshot();
+    let freq_ghz = host.machine.cpu.clock.model().freq_ghz;
+    let to_us = |c: u64| c as f64 / freq_ghz / 1000.0;
+
+    println!("== Cloud churn ({cycles} cycles, fleet ~{fleet_target}, sizes {SIZES_MIB:?} MiB)");
+    println!(
+        "cold start : {boot_mean:>9} cycles ({:.1} us)",
+        to_us(boot_mean)
+    );
+    println!(
+        "clone start: {clone_mean:>9} cycles ({:.1} us)  — {ratio:.1}x cheaper",
+        to_us(clone_mean)
+    );
+    println!(
+        "invoke p50 : {:>9} cycles   p99: {} cycles",
+        percentile(&invoke_cycles, 0.50),
+        percentile(&invoke_cycles, 0.99)
+    );
+    println!(
+        "frag stalls: {recovered_stalls} (all recovered by compaction); {compactions} compactions, \
+         {pages_migrated} pages migrated, {compaction_cycles} cycles"
+    );
+    assert!(
+        ratio >= 5.0,
+        "snapshot clone must be >=5x cheaper than cold boot (got {ratio:.2}x)"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(json, "  \"churn_cycles\": {cycles},");
+    let _ = writeln!(json, "  \"fleet_target\": {fleet_target},");
+    let _ = writeln!(json, "  \"cold_start_cycles_mean\": {boot_mean},");
+    let _ = writeln!(json, "  \"clone_start_cycles_mean\": {clone_mean},");
+    let _ = writeln!(json, "  \"cold_over_clone_ratio\": {ratio:.3},");
+    let _ = writeln!(
+        json,
+        "  \"invoke_p50_cycles\": {},",
+        percentile(&invoke_cycles, 0.50)
+    );
+    let _ = writeln!(
+        json,
+        "  \"invoke_p99_cycles\": {},",
+        percentile(&invoke_cycles, 0.99)
+    );
+    let _ = writeln!(json, "  \"frag_stalls_recovered\": {recovered_stalls},");
+    let _ = writeln!(json, "  \"frag_failures_unrecovered\": 0,");
+    let _ = writeln!(json, "  \"compactions\": {compactions},");
+    let _ = writeln!(json, "  \"compaction_cycles\": {compaction_cycles},");
+    let _ = writeln!(json, "  \"pages_migrated\": {pages_migrated},");
+    let _ = writeln!(
+        json,
+        "  \"clone_pages_copied\": {},",
+        snap.get("cloud.clone_pages_copied")
+    );
+    let _ = writeln!(json, "  \"containers_started\": {},", host.started);
+    let _ = writeln!(json, "  \"containers_stopped\": {},", host.stopped);
+    let _ = writeln!(json, "  \"pcids_in_use_end\": {}", host.pcids_in_use());
+    json.push('}');
+    assert!(obs::export::json_balanced(&json), "malformed JSON output");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_cloud_churn.json", &json).expect("write json");
+    println!("wrote results/BENCH_cloud_churn.json");
+}

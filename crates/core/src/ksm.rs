@@ -530,6 +530,192 @@ impl Ksm {
     pub fn template_root(&self) -> Phys {
         self.template_root
     }
+
+    /// Iterates over every page descriptor the KSM tracks (snapshot/clone
+    /// support: the host control plane exports the authoritative page-kind
+    /// map of a template container).
+    pub fn pages(&self) -> impl Iterator<Item = (Phys, PageDesc)> + '_ {
+        self.descs.iter().map(|(&pa, &d)| (pa, d))
+    }
+
+    /// Host-side import of a page descriptor during a snapshot clone.
+    ///
+    /// Unlike [`Ksm::declare_ptp`] this is not a guest KSM call and does
+    /// *not* zero the page — the clone path has already copied the
+    /// template's (rebased) page contents into place and the descriptor is
+    /// trusted because it comes from another KSM instance's validated
+    /// state. PTPs get their physmap alias re-keyed to [`KEY_PTP`] and
+    /// roots get per-vCPU copies, exactly as a fresh declaration would.
+    ///
+    /// Roots must be imported *after* their user-half entries have been
+    /// rebased into the new segment, because the per-vCPU copies snapshot
+    /// the root's current contents.
+    pub fn adopt_page(
+        &mut self,
+        m: &mut Machine,
+        pa: Phys,
+        desc: PageDesc,
+    ) -> Result<(), KsmError> {
+        if !self.seg.contains(pa) {
+            return Err(KsmError::OutsideSegment);
+        }
+        if self.descs.contains_key(&pa) {
+            return Err(KsmError::BadPageState("page already tracked"));
+        }
+        if let PageKind::Ptp { level } = desc.kind {
+            let va = self.physmap_va(pa);
+            let leaf = PageTables::walk(&mut m.mem, self.template_root, va)
+                .expect("physmap covers the segment")
+                .leaf;
+            PageTables::update_leaf(
+                &mut m.mem,
+                self.template_root,
+                va,
+                pte::with_pkey(leaf, KEY_PTP),
+            );
+            m.cpu.tlb.flush_va(va, self.pcid);
+            self.descs.insert(pa, desc);
+            if level == 4 {
+                self.make_root_copies(m, pa);
+            }
+        } else {
+            self.descs.insert(pa, desc);
+        }
+        Ok(())
+    }
+
+    /// In-place migration of the container to `new_seg` (compaction).
+    ///
+    /// The caller has already copied the segment's page contents to the
+    /// new range. This rewrites every translation that named the old
+    /// range — physmap leaves, PTP entries (the guest's own page tables),
+    /// and the user halves of the per-vCPU root copies — then retags the
+    /// KSM's bookkeeping and flushes the container's TLB tag. Returns the
+    /// number of PTE rewrites performed so the host can charge cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_seg` has a different length than the current one.
+    pub fn rebase(&mut self, m: &mut Machine, new_seg: Segment) -> u64 {
+        let old = self.seg;
+        assert_eq!(new_seg.len(), old.len(), "rebase must preserve length");
+        if new_seg == old {
+            return 0;
+        }
+        let shift = |pa: Phys| new_seg.start + (pa - old.start);
+        let mut rewrites = 0u64;
+
+        // Physmap leaves: same VAs, shifted targets. The per-vCPU root
+        // copies share the physmap subtree frames, so rewriting through
+        // the template covers every root.
+        let mut pa = old.start;
+        while pa < old.end {
+            let va = PHYSMAP_BASE + (pa - old.start);
+            let leaf = PageTables::walk(&mut m.mem, self.template_root, va)
+                .expect("physmap covers the segment")
+                .leaf;
+            let new_leaf = (leaf & !pte::ADDR_MASK) | shift(pte::addr(leaf));
+            PageTables::update_leaf(&mut m.mem, self.template_root, va, new_leaf);
+            rewrites += 1;
+            pa += PAGE_SIZE;
+        }
+
+        // Shift the descriptor map, then rewrite the guest-owned entries
+        // of every PTP at its *new* location (contents were copied by the
+        // caller). Non-root PTPs hold only guest entries; roots keep their
+        // KSM-managed kernel half untouched.
+        let descs: Vec<(Phys, PageDesc)> = self.descs.drain().collect();
+        for (pa, d) in descs {
+            let new_pa = shift(pa);
+            if let PageKind::Ptp { level } = d.kind {
+                let slots = if level == 4 { 0..256 } else { 0..512 };
+                for i in slots {
+                    let slot = new_pa + 8 * i as u64;
+                    let e = m.mem.read_u64(slot);
+                    if pte::present(e) && old.contains(pte::addr(e)) {
+                        m.mem
+                            .write_u64(slot, (e & !pte::ADDR_MASK) | shift(pte::addr(e)));
+                        rewrites += 1;
+                    }
+                }
+            }
+            self.descs.insert(new_pa, d);
+        }
+
+        // Root copies: shift the keys and rebase the user half of each
+        // copy (host frames; kernel halves point at host table frames).
+        let copies: Vec<(Phys, Vec<Phys>)> = self.root_copies.drain().collect();
+        for (root, roots) in copies {
+            for &copy in &roots {
+                for i in 0..256 {
+                    let slot = copy + 8 * i as u64;
+                    let e = m.mem.read_u64(slot);
+                    if pte::present(e) && old.contains(pte::addr(e)) {
+                        m.mem
+                            .write_u64(slot, (e & !pte::ADDR_MASK) | shift(pte::addr(e)));
+                        rewrites += 1;
+                    }
+                }
+            }
+            self.root_copies.insert(shift(root), roots);
+        }
+
+        self.seg = new_seg;
+        m.cpu.tlb.flush_pcid(self.pcid);
+        rewrites
+    }
+
+    /// Frees every host frame backing this KSM instance (container stop).
+    ///
+    /// Reclaims the template page-table tree (physmap + per-vCPU
+    /// subtrees), the per-vCPU areas, the IDT/TSS pages, and all per-vCPU
+    /// root copies. Leaf *targets* inside the delegated segment are left
+    /// alone — the segment is returned to the pool by the caller.
+    /// Idempotent: a second call is a no-op.
+    pub fn teardown(&mut self, m: &mut Machine) {
+        if self.template_root == 0 {
+            return;
+        }
+        for (_, copies) in self.root_copies.drain() {
+            for copy in copies {
+                m.mem.zero_frame(copy);
+                m.frames.free(copy);
+            }
+        }
+        // The template tree reaches the physmap subtree and (via the
+        // per-vCPU slot) vCPU 0's pdpt/pd/pt chain.
+        Self::free_table_tree(m, self.template_root, 4);
+        for v in 1..self.vcpu_pdpts.len() {
+            Self::free_table_tree(m, self.vcpu_pdpts[v], 3);
+        }
+        for &area in &self.vcpu_areas {
+            m.mem.zero_frame(area);
+            m.frames.free(area);
+        }
+        for pa in [self.idt_pa, self.tss_pa] {
+            m.mem.zero_frame(pa);
+            m.frames.free(pa);
+        }
+        self.vcpu_areas.clear();
+        self.vcpu_pdpts.clear();
+        self.descs.clear();
+        self.template_root = 0;
+    }
+
+    /// Recursively frees a page-table subtree's *table* frames (never the
+    /// level-1 leaf targets, which are segment or per-vCPU-area pages).
+    fn free_table_tree(m: &mut Machine, table: Phys, level: u8) {
+        if level > 1 {
+            for i in 0..512 {
+                let e = m.mem.read_u64(table + 8 * i as u64);
+                if pte::present(e) {
+                    Self::free_table_tree(m, pte::addr(e), level - 1);
+                }
+            }
+        }
+        m.mem.zero_frame(table);
+        m.frames.free(table);
+    }
 }
 
 impl std::fmt::Debug for Ksm {

@@ -27,7 +27,7 @@ pub mod sandbox;
 pub use fastpath::KernelApp;
 pub use gates::{hypercall_gate, interrupt_gate, ksm_call, GateAbort, GateEntry};
 pub use ksm::{pkrs_guest, Ksm, KsmError, KsmStats, PageDesc, PageKind, KEY_KSM, KEY_PTP};
-pub use platform::{CkiConfig, CkiPlatform, CkiStats};
+pub use platform::{CkiConfig, CkiPlatform, CkiStats, CloneReport};
 pub use sandbox::{DriverOutcome, DriverSandbox};
 
 #[cfg(test)]

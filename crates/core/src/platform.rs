@@ -74,6 +74,16 @@ pub struct CkiStats {
     pub gate_aborts: u64,
 }
 
+/// Work performed by a snapshot clone ([`CkiPlatform::adopt_from`]) —
+/// the host charges cycles proportional to these.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CloneReport {
+    /// Resident template pages copied into the clone's segment.
+    pub pages_copied: u64,
+    /// Page-table entries rebased to the clone's physical range.
+    pub pte_rewrites: u64,
+}
+
 /// Dense registry ids for the CKI hot-path counters.
 struct CkiCounterIds {
     hypercalls: obs::CounterId,
@@ -172,6 +182,93 @@ impl CkiPlatform {
             hypercalls: m.cpu.metrics.get(self.ids.hypercalls),
             gate_aborts: m.cpu.metrics.get(self.ids.gate_aborts),
         }
+    }
+
+    /// Adopts a snapshot of `tmpl`'s delegated-segment state into this
+    /// freshly constructed platform (snapshot-clone cold start).
+    ///
+    /// Copies the template segment's resident page image into this
+    /// platform's segment, rebases every guest page-table entry that named
+    /// the template's physical range, imports the template KSM's page
+    /// descriptors (building per-vCPU root copies for adopted roots), and
+    /// rebases the guest frame allocator. The returned report carries the
+    /// work sizes so the host can charge cycles for the clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two platforms' segments differ in length.
+    pub fn adopt_from(&mut self, m: &mut Machine, tmpl: &CkiPlatform) -> CloneReport {
+        let old = tmpl.ksm.seg;
+        let new = self.ksm.seg;
+        assert_eq!(old.len(), new.len(), "clone must preserve segment size");
+        let shift = |pa: Phys| new.start + (pa - old.start);
+
+        // Exact page image: resident template pages are copied, everything
+        // else is dropped (a recycled pool range may hold a previous
+        // tenant's frames).
+        let pages_copied = m.mem.resident_range(old.start, old.end).len() as u64;
+        let mut pa = old.start;
+        while pa < old.end {
+            m.mem.copy_frame(pa, shift(pa));
+            pa += PAGE_SIZE;
+        }
+
+        // Rebase the guest-owned entries of every copied PTP in place,
+        // *before* adopting roots (per-vCPU copies snapshot root contents).
+        let mut pte_rewrites = 0u64;
+        for (pa, desc) in tmpl.ksm.pages() {
+            let PageKind::Ptp { level } = desc.kind else {
+                continue;
+            };
+            let slots = if level == 4 { 0..256 } else { 0..512 };
+            for i in slots {
+                let slot = shift(pa) + 8 * i as u64;
+                let e = m.mem.read_u64(slot);
+                if pte::present(e) && old.contains(pte::addr(e)) {
+                    m.mem
+                        .write_u64(slot, (e & !pte::ADDR_MASK) | shift(pte::addr(e)));
+                    pte_rewrites += 1;
+                }
+            }
+        }
+
+        // Import descriptors: data pages and interior PTPs first, roots
+        // last (adopting a root stamps this KSM's kernel half over the
+        // copied one and builds the per-vCPU copies).
+        let mut roots = Vec::new();
+        for (pa, desc) in tmpl.ksm.pages() {
+            if matches!(desc.kind, PageKind::Ptp { level: 4 }) {
+                roots.push((pa, desc));
+            } else {
+                self.ksm
+                    .adopt_page(m, shift(pa), desc)
+                    .expect("adopting template page");
+            }
+        }
+        for (pa, desc) in roots {
+            self.ksm
+                .adopt_page(m, shift(pa), desc)
+                .expect("adopting template root");
+        }
+
+        self.guest_frames = tmpl.guest_frames.rebased(new.start);
+        CloneReport {
+            pages_copied,
+            pte_rewrites,
+        }
+    }
+
+    /// Rebases the guest frame allocator after an in-place segment
+    /// migration ([`Ksm::rebase`]); the KSM's own state is rebased by the
+    /// caller through `ksm.rebase`.
+    pub fn rebase_guest_frames(&mut self, new_start: Phys) {
+        self.guest_frames = self.guest_frames.rebased(new_start);
+    }
+
+    /// Frees every host frame backing this container's KSM (container
+    /// stop). The delegated segment itself goes back to the pool owner.
+    pub fn teardown(&mut self, m: &mut Machine) {
+        self.ksm.teardown(m);
     }
 
     /// Invokes the KSM through the real PKS call gate.

@@ -109,6 +109,28 @@ impl StateSnapshot {
     }
 }
 
+/// Captures the comparable functional state of any guest kernel — also
+/// usable outside an [`Executor`], e.g. to compare a snapshot-cloned
+/// container against a cold-booted one. `regions` is the caller's view of
+/// its mapped region slots (all-`None` when not driving [`Op`] programs).
+pub fn snapshot_kernel(
+    k: &guest_os::Kernel,
+    regions: [Option<(u64, u64)>; REGION_SLOTS],
+) -> StateSnapshot {
+    let aspace = &k.proc(k.current).aspace;
+    StateSnapshot {
+        nprocs: k.nprocs(),
+        current: k.current,
+        vfs: k.vfs.entries(),
+        regions,
+        resident: aspace
+            .pages
+            .iter()
+            .map(|(&va, info)| (va, info.cow))
+            .collect(),
+    }
+}
+
 /// Instruction set of the pkey attack probe (all Table 3 "blocked" rows
 /// that execute without perturbing guest-visible state, or whose
 /// perturbation the probe restores).
@@ -397,19 +419,7 @@ impl Executor {
 
     /// Captures the comparable functional state.
     pub fn snapshot(&self) -> StateSnapshot {
-        let k = &self.stack.kernel;
-        let aspace = &k.proc(k.current).aspace;
-        StateSnapshot {
-            nprocs: k.nprocs(),
-            current: k.current,
-            vfs: k.vfs.entries(),
-            regions: self.regions,
-            resident: aspace
-                .pages
-                .iter()
-                .map(|(&va, info)| (va, info.cow))
-                .collect(),
-        }
+        snapshot_kernel(&self.stack.kernel, self.regions)
     }
 
     /// Short trace tail for divergence reports (cost-free causality view).

@@ -38,7 +38,7 @@ pub mod oracle;
 pub mod program;
 pub mod shrink;
 
-pub use exec::{ExecConfig, Executor, PlantedBug, StateSnapshot};
+pub use exec::{snapshot_kernel, ExecConfig, Executor, PlantedBug, StateSnapshot};
 pub use inject::{Inject, Schedule};
 pub use oracle::{Divergence, DtError, InvariantViolation, Oracle, ALL_BACKENDS};
 pub use program::{Op, Program};

@@ -20,7 +20,7 @@ use crate::syscall::{Errno, Sys, SysResult};
 use crate::vfs::TmpFs;
 
 /// An in-kernel pipe (also backs AF_UNIX stream pairs).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Pipe {
     /// Bytes currently buffered.
     buffered: u64,
@@ -31,7 +31,7 @@ struct Pipe {
 }
 
 /// A network stream socket over the VirtIO NIC.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Socket {
     /// Requests received from the last poll, not yet consumed.
     rx_backlog: u32,
@@ -131,6 +131,78 @@ impl Kernel {
     /// The process table size (diagnostics).
     pub fn nprocs(&self) -> usize {
         self.procs.len()
+    }
+
+    /// Clones this kernel's functional state onto `platform`, whose
+    /// backing memory is a byte-for-byte copy of this kernel's at the
+    /// physical locations given by `relocate` (snapshot-clone cold start).
+    ///
+    /// Process tables, address spaces, file descriptors, the tmpfs, pipes,
+    /// and sockets carry over; every physical address in the bookkeeping
+    /// (address-space roots, page frames, frame refcounts) is passed
+    /// through `relocate`. The clone gets a fresh metrics registry — its
+    /// counters restart from zero — and the preemption timer is off until
+    /// re-armed, since deadlines are absolute machine times.
+    pub fn clone_with_platform(
+        &self,
+        platform: Box<dyn Platform>,
+        relocate: impl Fn(Phys) -> Phys,
+    ) -> Kernel {
+        let mut metrics = MetricsRegistry::new();
+        let ids = OsCounterIds {
+            syscalls: metrics.counter("os.syscalls"),
+            pgfaults: metrics.counter("os.pgfaults"),
+            cow_breaks: metrics.counter("os.cow_breaks"),
+            ctx_switches: metrics.counter("os.ctx_switches"),
+            forks: metrics.counter("os.forks"),
+        };
+        let procs = self
+            .procs
+            .iter()
+            .map(|(&pid, p)| {
+                let mut p = p.clone();
+                p.aspace.root = relocate(p.aspace.root);
+                for info in p.aspace.pages.values_mut() {
+                    info.pa = relocate(info.pa);
+                }
+                (pid, p)
+            })
+            .collect();
+        Kernel {
+            platform,
+            procs,
+            next_pid: self.next_pid,
+            current: self.current,
+            vfs: self.vfs.clone(),
+            pipes: self.pipes.clone(),
+            socks: self.socks.clone(),
+            frame_refs: self
+                .frame_refs
+                .iter()
+                .map(|(&pa, &n)| (relocate(pa), n))
+                .collect(),
+            timer: None,
+            timer_ticks: 0,
+            metrics,
+            ids,
+        }
+    }
+
+    /// Rewrites every physical address in the kernel's bookkeeping through
+    /// `relocate` — the kernel-side half of an in-place segment migration
+    /// (the platform rebases the page tables themselves).
+    pub fn rebase_frames(&mut self, relocate: impl Fn(Phys) -> Phys) {
+        for p in self.procs.values_mut() {
+            p.aspace.root = relocate(p.aspace.root);
+            for info in p.aspace.pages.values_mut() {
+                info.pa = relocate(info.pa);
+            }
+        }
+        self.frame_refs = self
+            .frame_refs
+            .drain()
+            .map(|(pa, n)| (relocate(pa), n))
+            .collect();
     }
 
     /// Reconstructs the aggregate [`Stats`] view from the metrics registry.

@@ -88,7 +88,7 @@ pub struct PageInfo {
 }
 
 /// One process address space: a real page-table root plus software metadata.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AddressSpace {
     /// Page-table root (guest-physical).
     pub root: Phys,
@@ -200,7 +200,7 @@ pub enum FileDesc {
 }
 
 /// A guest process.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Process {
     /// Process id.
     pub pid: Pid,

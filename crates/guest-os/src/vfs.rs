@@ -18,7 +18,7 @@ pub enum FsError {
 }
 
 /// One tmpfs inode.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Inode {
     /// File contents.
     pub data: Vec<u8>,
@@ -27,7 +27,7 @@ pub struct Inode {
 }
 
 /// The tmpfs.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TmpFs {
     inodes: Vec<Inode>,
     names: HashMap<String, usize>,

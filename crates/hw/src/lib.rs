@@ -29,6 +29,7 @@ pub mod fault;
 pub mod idt;
 pub mod instr;
 pub mod machine;
+pub mod pcid;
 pub mod pkey;
 pub mod tlb;
 pub mod trace;
@@ -40,6 +41,7 @@ pub use fault::Fault;
 pub use idt::{IdtEntry, IretFrame};
 pub use instr::{GuestPolicy, Instr};
 pub use machine::Machine;
+pub use pcid::PcidAllocator;
 pub use pkey::{pkrs_deny_access, pkrs_deny_write, PKEY_COUNT};
 pub use tlb::Tlb;
 pub use trace::{TraceEvent, TraceKind, Tracer};

@@ -109,6 +109,29 @@ impl FrameAllocator {
     pub fn contains(&self, frame: Phys) -> bool {
         (self.start..self.end).contains(&frame)
     }
+
+    /// Returns a copy of this allocator translated to start at `new_start`:
+    /// same capacity, same bump cursor offset, same free list (shifted).
+    ///
+    /// Used when a delegated segment is cloned or migrated to a different
+    /// physical range — the clone's allocator must hand out exactly the
+    /// frames that correspond to the original's, so that relocated page
+    /// tables and the allocator agree on which frames are in use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_start` is not page-aligned.
+    pub fn rebased(&self, new_start: Phys) -> FrameAllocator {
+        assert_eq!(new_start % PAGE_SIZE, 0, "unaligned rebase target");
+        let shift = |pa: Phys| new_start + (pa - self.start);
+        FrameAllocator {
+            start: new_start,
+            end: shift(self.end),
+            next: shift(self.next),
+            free: self.free.iter().map(|&f| shift(f)).collect(),
+            allocated: self.allocated,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +169,23 @@ mod tests {
     fn foreign_free_panics() {
         let mut a = FrameAllocator::new(0x1000, 0x2000);
         a.free(0x8000);
+    }
+
+    #[test]
+    fn rebase_preserves_allocation_state() {
+        let mut a = FrameAllocator::new(0x10000, 0x20000);
+        let f1 = a.alloc().unwrap();
+        let _f2 = a.alloc().unwrap();
+        a.free(f1);
+        let mut b = a.rebased(0x40000);
+        assert_eq!(b.capacity(), a.capacity());
+        assert_eq!(b.in_use(), a.in_use());
+        assert_eq!(b.available(), a.available());
+        // The shifted free list is served first, at the shifted address.
+        assert_eq!(b.alloc(), Some(0x40000 + (f1 - 0x10000)));
+        // The bump cursor continues from the shifted position.
+        assert_eq!(b.alloc(), Some(0x42000));
+        assert!(b.contains(0x40000));
+        assert!(!b.contains(0x10000));
     }
 }

@@ -171,6 +171,44 @@ impl PhysMem {
         // An absent frame already reads as zero.
     }
 
+    /// Copies the whole frame at `src` onto the frame at `dst`.
+    ///
+    /// A non-resident source (all zeros) drops the destination frame
+    /// instead of materializing a zero page, preserving sparsity. Both
+    /// addresses must be page-aligned.
+    pub fn copy_frame(&mut self, src: Phys, dst: Phys) {
+        self.check(src, PAGE_SIZE);
+        self.check(dst, PAGE_SIZE);
+        assert_eq!(src % PAGE_SIZE, 0, "unaligned frame copy source");
+        assert_eq!(dst % PAGE_SIZE, 0, "unaligned frame copy destination");
+        if src == dst {
+            return;
+        }
+        match self.frames.get(&pfn(src)).cloned() {
+            Some(f) => {
+                self.writes += 1;
+                self.frames.insert(pfn(dst), f);
+            }
+            None => {
+                self.frames.remove(&pfn(dst));
+            }
+        }
+    }
+
+    /// Page-aligned addresses of the resident (materialized) frames inside
+    /// `[start, end)`, in ascending order. Used to copy or migrate a
+    /// delegated segment without touching its untouched (zero) pages.
+    pub fn resident_range(&self, start: Phys, end: Phys) -> Vec<Phys> {
+        let mut out: Vec<Phys> = self
+            .frames
+            .keys()
+            .map(|&n| n * PAGE_SIZE)
+            .filter(|&pa| pa >= start && pa < end)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     fn frame_mut(&mut self, pa: Phys) -> &mut Frame {
         self.frames
             .entry(pfn(pa))
@@ -222,6 +260,20 @@ mod tests {
         m.write_u64(0x3000, 42);
         m.zero_frame(0x3000);
         assert_eq!(m.read_u64(0x3000), 0);
+    }
+
+    #[test]
+    fn copy_frame_and_residency() {
+        let mut m = PhysMem::new(1 << 20);
+        m.write_u64(0x3008, 7);
+        m.write_u64(0x5000, 9);
+        assert_eq!(m.resident_range(0x0, 0x10000), vec![0x3000, 0x5000]);
+        m.copy_frame(0x3000, 0x8000);
+        assert_eq!(m.read_u64(0x8008), 7);
+        // Copying a non-resident source zeroes (drops) the destination.
+        m.copy_frame(0x4000, 0x8000);
+        assert_eq!(m.read_u64(0x8008), 0);
+        assert_eq!(m.resident_range(0x0, 0x10000), vec![0x3000, 0x5000]);
     }
 
     #[test]

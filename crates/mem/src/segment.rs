@@ -38,7 +38,14 @@ impl Segment {
     }
 }
 
-/// First-fit allocator of contiguous physical segments.
+/// Best-fit allocator of contiguous physical segments.
+///
+/// Allocation picks the *smallest* free extent that satisfies the request
+/// (ties broken toward the lowest address), which keeps large extents
+/// intact under mixed-size churn far longer than first-fit does. When
+/// churn still shatters the pool, [`SegmentAllocator::compact`] computes a
+/// slide-left migration plan that the owner executes (copying pages and
+/// rewriting translations costs cycles, so the allocator only *plans*).
 ///
 /// # Examples
 ///
@@ -55,6 +62,8 @@ impl Segment {
 pub struct SegmentAllocator {
     /// Sorted, coalesced free list.
     free: Vec<Segment>,
+    /// The managed range (needed to re-pack from the base on compaction).
+    range: Segment,
     total: u64,
 }
 
@@ -70,17 +79,26 @@ impl SegmentAllocator {
         assert_eq!(end % PAGE_SIZE, 0, "unaligned range end");
         Self {
             free: vec![Segment { start, end }],
+            range: Segment { start, end },
             total: end - start,
         }
     }
 
     /// Allocates a contiguous segment of `len` bytes (rounded up to pages).
     ///
-    /// Returns `None` when no single free extent is large enough — which can
-    /// happen even when `free_bytes() >= len` (external fragmentation).
+    /// Best-fit: carves from the smallest extent that fits, preferring the
+    /// lowest address on ties. Returns `None` when no single free extent is
+    /// large enough — which can happen even when `free_bytes() >= len`
+    /// (external fragmentation).
     pub fn alloc(&mut self, len: u64) -> Option<Segment> {
         let len = crate::addr::page_align_up(len.max(PAGE_SIZE));
-        let idx = self.free.iter().position(|s| s.len() >= len)?;
+        let idx = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.len() >= len)
+            .min_by_key(|(_, s)| s.len())
+            .map(|(i, _)| i)?;
         let seg = self.free[idx];
         let out = Segment {
             start: seg.start,
@@ -148,6 +166,69 @@ impl SegmentAllocator {
     pub fn total_bytes(&self) -> u64 {
         self.total
     }
+
+    /// The sorted, coalesced free extents (diagnostics / planning).
+    pub fn free_extents(&self) -> &[Segment] {
+        &self.free
+    }
+
+    /// Computes and applies a slide-left compaction plan.
+    ///
+    /// `live` must list every currently-allocated segment. Each live
+    /// segment is re-packed toward the base of the managed range in
+    /// ascending address order, so after compaction all free memory forms
+    /// a single tail extent (`fragmentation()` returns 0). The entries of
+    /// `live` are rewritten to their new locations in place, and the
+    /// returned plan lists `(old, new)` for every segment that moved, in
+    /// the order the owner must migrate them (ascending, so a page-by-page
+    /// ascending copy is safe even when old and new ranges overlap).
+    ///
+    /// The allocator only re-plans bookkeeping; the *owner* performs the
+    /// page copies and translation rewrites, charging cycles for them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live` disagrees with the allocator's accounting (a
+    /// segment outside the managed range, overlapping another, or total
+    /// live bytes not matching allocated bytes).
+    pub fn compact(&mut self, live: &mut [Segment]) -> Vec<(Segment, Segment)> {
+        let live_bytes: u64 = live.iter().map(Segment::len).sum();
+        assert_eq!(
+            live_bytes,
+            self.total - self.free_bytes(),
+            "live set does not match allocated bytes"
+        );
+        let mut order: Vec<usize> = (0..live.len()).collect();
+        order.sort_by_key(|&i| live[i].start);
+        let mut moves = Vec::new();
+        let mut cursor = self.range.start;
+        for &i in &order {
+            let old = live[i];
+            assert!(
+                self.range.start <= old.start && old.end <= self.range.end,
+                "live segment {old:?} outside managed range"
+            );
+            assert!(cursor <= old.start, "overlapping live segments");
+            let new = Segment {
+                start: cursor,
+                end: cursor + old.len(),
+            };
+            if new != old {
+                moves.push((old, new));
+                live[i] = new;
+            }
+            cursor = new.end;
+        }
+        self.free = if cursor < self.range.end {
+            vec![Segment {
+                start: cursor,
+                end: self.range.end,
+            }]
+        } else {
+            Vec::new()
+        };
+        moves
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +274,61 @@ mod tests {
         let s = a.alloc(0x2000).unwrap();
         a.free(s);
         a.free(s);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_extent() {
+        let mut a = SegmentAllocator::new(0, 0x10000);
+        let s1 = a.alloc(0x4000).unwrap(); // [0, 0x4000)
+        let _s2 = a.alloc(0x2000).unwrap(); // [0x4000, 0x6000) — separator
+        let s3 = a.alloc(0x2000).unwrap(); // [0x6000, 0x8000)
+        let _s4 = a.alloc(0x2000).unwrap(); // [0x8000, 0xa000) — separator
+        a.free(s1); // hole of 0x4000 at 0
+        a.free(s3); // hole of 0x2000 at 0x6000
+                    // A 0x2000 request must take the exact-fit hole at 0x6000 (first-fit
+                    // would shatter the 0x4000 extent at 0), keeping the large extent
+                    // intact for a later large request.
+        let s = a.alloc(0x2000).unwrap();
+        assert_eq!(s.start, 0x6000);
+        assert_eq!(a.alloc(0x4000).unwrap().start, 0);
+    }
+
+    #[test]
+    fn compact_packs_live_segments() {
+        let mut a = SegmentAllocator::new(0x1000, 0x11000);
+        let segs: Vec<_> = (0..8).map(|_| a.alloc(0x2000).unwrap()).collect();
+        let mut live = Vec::new();
+        for (i, s) in segs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.free(*s);
+            } else {
+                live.push(*s);
+            }
+        }
+        assert!(a.alloc(0x4000).is_none());
+        let moves = a.compact(&mut live);
+        // Every surviving segment had a hole to its left, so all 4 move.
+        assert_eq!(moves.len(), 4);
+        for (old, new) in &moves {
+            assert!(new.start < old.start, "compaction slides left");
+            assert_eq!(old.len(), new.len());
+        }
+        // Moves come out in ascending order for safe overlapping copies.
+        for w in moves.windows(2) {
+            assert!(w[0].0.start < w[1].0.start);
+        }
+        assert_eq!(a.fragmentation(), 0.0);
+        assert_eq!(a.free_bytes(), 0x8000);
+        assert!(a.alloc(0x8000).is_some());
+    }
+
+    #[test]
+    fn compact_noop_when_already_packed() {
+        let mut a = SegmentAllocator::new(0, 0x10000);
+        let mut live = vec![a.alloc(0x2000).unwrap(), a.alloc(0x2000).unwrap()];
+        assert!(a.compact(&mut live).is_empty());
+        assert_eq!(live[0].start, 0);
+        assert_eq!(a.free_extents().len(), 1);
     }
 
     #[test]

@@ -2,26 +2,67 @@
 //!
 //! [`CloudHost`] owns one machine and manages the lifecycle of many secure
 //! containers on it — start, run, stop — recycling each container's
-//! delegated physical segment on shutdown. This is the operational layer a
-//! deployment would script against, and it makes the paper's §4.3
-//! fragmentation limitation observable end-to-end: stop/start churn with
-//! mixed container sizes fragments the host's contiguous free memory.
+//! delegated physical segment and PCID on shutdown. This is the
+//! operational layer a serverless deployment scripts against, so it
+//! carries the two mechanisms such deployments live and die by:
+//!
+//! - **Snapshot-clone cold starts**: the first start of a configuration
+//!   boots a *template* container and runs its init warmup once; every
+//!   subsequent start of that configuration clones the template's
+//!   post-boot state — segment page image, guest page tables (rebased to
+//!   the clone's physical range), KSM page descriptors, and kernel
+//!   process/VFS state — instead of booting from scratch. The clone path
+//!   is cycle-charged for the work it actually does (page copies + PTE
+//!   rebases + activation), which is an order of magnitude less than a
+//!   full boot.
+//! - **Segment-pool compaction**: the pool allocator is best-fit, and when
+//!   mixed-size churn still fragments the pool (the paper's §4.3
+//!   limitation), an explicit [`CloudHost::compact`] pass migrates live
+//!   containers toward the pool base — charging cycles for every page
+//!   copied and every translation rewritten — so that a start that failed
+//!   with [`HostError::OutOfContiguousMemory`] can be retried instead of
+//!   failing permanently. Compaction is never run implicitly: the §4.3
+//!   failure mode stays observable unless the operator opts in.
 
 use std::collections::HashMap;
 
-use cki_core::{CkiConfig, CkiPlatform};
-use guest_os::{Env, Kernel};
-use sim_hw::{HwExtensions, Machine, Mode};
+use cki_core::CkiPlatform;
+use guest_os::costs::copy_cycles;
+use guest_os::{Env, Kernel, Sys};
+use sim_hw::{HwExtensions, Machine, Mode, PcidAllocator, Tag};
 use sim_mem::{Segment, SegmentAllocator, PAGE_SIZE};
+
+use crate::{Backend, BootError, StackConfig};
 
 /// Identifier of a running container.
 pub type ContainerId = u32;
 
+/// Template-registry key: the configuration a snapshot was taken for
+/// (`seg_bytes`, `vcpus`, `warmup_pages`).
+type TemplateKey = (u64, u32, u64);
+
+/// Whose segment this is during a compaction pass: a running container
+/// (by id) or a parked template (by key).
+type SegmentOwner = (Option<ContainerId>, TemplateKey);
+
+/// Fixed host-side cycles to activate a snapshot clone: registering the
+/// restored image with the host MMU bookkeeping and faulting in the
+/// monitor mappings. Independent of container size (the size-dependent
+/// work — page copies, PTE rebases — is charged per unit).
+pub const CLONE_ACTIVATE_CYCLES: u64 = 20_000;
+
+/// Fixed host-side cycles per migrated container during compaction
+/// (shootdown + allocator bookkeeping), on top of the per-page and
+/// per-PTE charges.
+pub const MIGRATE_FIXED_CYCLES: u64 = 2_000;
+
 /// Errors from host operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum HostError {
     /// No contiguous segment of the requested size is free (possibly due
     /// to fragmentation even when total free memory suffices — §4.3).
+    /// [`CloudHost::compact`] and retry.
     OutOfContiguousMemory,
     /// Unknown container id.
     NoSuchContainer,
@@ -43,6 +84,49 @@ impl std::fmt::Display for HostError {
 
 impl std::error::Error for HostError {}
 
+/// How to start a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartSpec {
+    /// Delegated-segment size in bytes.
+    pub seg_bytes: u64,
+    /// vCPUs (per-vCPU areas and root copies).
+    pub vcpus: u32,
+    /// Heap pages the init runtime touches during warmup (after `execve`).
+    /// Zero skips warmup entirely.
+    pub warmup_pages: u64,
+    /// Start by cloning the configuration's template snapshot instead of
+    /// a full boot. The first such start boots the template on demand.
+    pub clone_from_template: bool,
+}
+
+impl StartSpec {
+    /// A single-vCPU container of `seg_bytes` with the default warmup.
+    pub fn new(seg_bytes: u64) -> Self {
+        Self {
+            seg_bytes,
+            vcpus: 1,
+            warmup_pages: 16,
+            clone_from_template: false,
+        }
+    }
+
+    /// Requests a snapshot-clone start.
+    pub fn cloned(mut self) -> Self {
+        self.clone_from_template = true;
+        self
+    }
+
+    /// Sets the warmup size.
+    pub fn with_warmup_pages(mut self, pages: u64) -> Self {
+        self.warmup_pages = pages;
+        self
+    }
+
+    fn template_key(&self) -> TemplateKey {
+        (self.seg_bytes, self.vcpus, self.warmup_pages)
+    }
+}
+
 /// One running secure container.
 pub struct Container {
     /// Id on this host.
@@ -51,6 +135,34 @@ pub struct Container {
     pub kernel: Kernel,
     /// The delegated segment (returned to the host on stop).
     pub seg: Segment,
+    /// The container's TLB tag (recycled on stop).
+    pub pcid: u16,
+}
+
+/// What one [`CloudHost::compact`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Containers (and templates) migrated.
+    pub moved: u64,
+    /// Resident pages copied to new physical locations.
+    pub pages_migrated: u64,
+    /// Page-table entries rewritten to the new locations.
+    pub pte_rewrites: u64,
+    /// Total cycles charged for the pass.
+    pub cycles: u64,
+}
+
+/// Dense registry ids for the control plane's counters/histograms.
+struct CloudIds {
+    starts: obs::CounterId,
+    cold_boots: obs::CounterId,
+    clones: obs::CounterId,
+    clone_pages_copied: obs::CounterId,
+    compactions: obs::CounterId,
+    pages_migrated: obs::CounterId,
+    frag_failures: obs::CounterId,
+    boot_cycles: obs::HistId,
+    clone_cycles: obs::HistId,
 }
 
 /// A host machine running CKI secure containers.
@@ -59,8 +171,11 @@ pub struct CloudHost {
     pub machine: Machine,
     segments: SegmentAllocator,
     containers: HashMap<ContainerId, Container>,
+    /// Booted template snapshots, keyed by configuration.
+    templates: HashMap<TemplateKey, Container>,
     next_id: ContainerId,
-    next_pcid: u16,
+    pcids: PcidAllocator,
+    ids: CloudIds,
     /// Containers started over the host's lifetime.
     pub started: u64,
     /// Containers stopped.
@@ -73,67 +188,349 @@ impl CloudHost {
     ///
     /// # Panics
     ///
-    /// Panics if the reservation exceeds the machine.
+    /// Panics if the configuration fails [`CloudHost::try_new`].
     pub fn new(mem_bytes: u64, host_reserve_bytes: u64) -> Self {
+        Self::try_new(mem_bytes, host_reserve_bytes)
+            .unwrap_or_else(|e| panic!("booting cloud host: {e}"))
+    }
+
+    /// Boots a host, validating the configuration first.
+    pub fn try_new(mem_bytes: u64, host_reserve_bytes: u64) -> Result<Self, BootError> {
+        const MACHINE_RESERVE: u64 = 16 * 1024 * 1024;
+        if host_reserve_bytes >= mem_bytes {
+            return Err(BootError::InvalidConfig(
+                "host reserve must be smaller than machine memory",
+            ));
+        }
+        let pool_frames = (mem_bytes - host_reserve_bytes) / PAGE_SIZE / 2;
+        if mem_bytes <= MACHINE_RESERVE || pool_frames == 0 {
+            return Err(BootError::InsufficientMemory {
+                required: MACHINE_RESERVE + 2 * PAGE_SIZE,
+                available: mem_bytes,
+            });
+        }
         let mut machine = Machine::new(mem_bytes, HwExtensions::cki());
         // Carve the delegatable pool; what remains in the machine allocator
         // serves host-side allocations (KSM pages, root copies, ...).
-        let pool_bytes = mem_bytes - host_reserve_bytes;
         let pool = machine
             .frames
-            .alloc_contiguous(pool_bytes / PAGE_SIZE / 2)
+            .alloc_contiguous(pool_frames)
             .expect("delegatable pool");
-        let pool_len = pool_bytes / PAGE_SIZE / 2 * PAGE_SIZE;
-        Self {
+        let m = &mut machine.cpu.metrics;
+        let ids = CloudIds {
+            starts: m.counter("cloud.starts"),
+            cold_boots: m.counter("cloud.cold_boots"),
+            clones: m.counter("cloud.clones"),
+            clone_pages_copied: m.counter("cloud.clone_pages_copied"),
+            compactions: m.counter("cloud.compactions"),
+            pages_migrated: m.counter("cloud.pages_migrated"),
+            frag_failures: m.counter("cloud.frag_failures"),
+            boot_cycles: m.histogram_labeled("cloud.start_cycles", Some("boot")),
+            clone_cycles: m.histogram_labeled("cloud.start_cycles", Some("clone")),
+        };
+        Ok(Self {
             machine,
-            segments: SegmentAllocator::new(pool, pool + pool_len),
+            segments: SegmentAllocator::new(pool, pool + pool_frames * PAGE_SIZE),
             containers: HashMap::new(),
+            templates: HashMap::new(),
             next_id: 1,
-            next_pcid: 3,
+            pcids: PcidAllocator::new(3),
+            ids,
             started: 0,
             stopped: 0,
-        }
+        })
     }
 
-    /// Starts a secure container with a `seg_bytes` delegated segment.
+    /// Starts a secure container with a `seg_bytes` delegated segment
+    /// (full cold boot; see [`CloudHost::start`] for snapshot clones).
     pub fn start_container(&mut self, seg_bytes: u64) -> Result<ContainerId, HostError> {
-        let seg = self
-            .segments
-            .alloc(seg_bytes)
-            .ok_or(HostError::OutOfContiguousMemory)?;
-        if self.next_pcid >= 4095 {
-            self.segments.free(seg);
-            return Err(HostError::OutOfPcids);
-        }
-        let pcid = self.next_pcid;
-        self.next_pcid += 1;
-        let config = CkiConfig {
-            seg_bytes,
-            pcid,
-            vcpus: 1,
-            ..CkiConfig::default()
+        self.start(StartSpec::new(seg_bytes))
+    }
+
+    /// Starts a container per `spec` — cold boot or snapshot clone.
+    pub fn start(&mut self, spec: StartSpec) -> Result<ContainerId, HostError> {
+        let id = if spec.clone_from_template {
+            self.ensure_template(&spec)?;
+            self.start_clone(&spec)?
+        } else {
+            self.start_cold(&spec)?
         };
-        let platform = CkiPlatform::new_with_segment(&mut self.machine, config, seg);
-        let kernel = Kernel::boot(Box::new(platform), &mut self.machine);
-        let id = self.next_id;
-        self.next_id += 1;
-        self.containers.insert(id, Container { id, kernel, seg });
+        self.machine.cpu.metrics.inc(self.ids.starts);
         self.started += 1;
         Ok(id)
     }
 
-    /// Stops a container, returning its segment to the host pool.
+    /// Boots the template snapshot for `spec`'s configuration if it does
+    /// not exist yet. Idempotent; called implicitly by clone starts.
+    pub fn ensure_template(&mut self, spec: &StartSpec) -> Result<(), HostError> {
+        let key = spec.template_key();
+        if self.templates.contains_key(&key) {
+            return Ok(());
+        }
+        // Boot it as a regular container (so warmup can run inside it),
+        // then retire it into the template registry.
+        let id = self.start_cold(spec)?;
+        let c = self.containers.remove(&id).expect("template container");
+        self.templates.insert(key, c);
+        Ok(())
+    }
+
+    /// Drops all template snapshots, returning their segments and PCIDs
+    /// to the pool (e.g. before a final compaction).
+    pub fn retire_templates(&mut self) {
+        let keys: Vec<_> = self.templates.keys().copied().collect();
+        for key in keys {
+            let mut c = self.templates.remove(&key).expect("template");
+            self.machine.cpu.tlb.flush_pcid(c.pcid);
+            if let Some(p) = c.kernel.platform.as_any_mut().downcast_mut::<CkiPlatform>() {
+                p.teardown(&mut self.machine);
+            }
+            self.pcids.release(c.pcid);
+            self.segments.free(c.seg);
+        }
+    }
+
+    /// Allocates the segment + PCID pair for a start, undoing the segment
+    /// on PCID exhaustion.
+    fn alloc_resources(&mut self, seg_bytes: u64) -> Result<(Segment, u16), HostError> {
+        let seg = self.segments.alloc(seg_bytes).ok_or_else(|| {
+            self.machine.cpu.metrics.inc(self.ids.frag_failures);
+            HostError::OutOfContiguousMemory
+        })?;
+        let Some(pcid) = self.pcids.alloc() else {
+            self.segments.free(seg);
+            return Err(HostError::OutOfPcids);
+        };
+        // Recycled tag: flush any stale translations of the previous owner
+        // before the new container can populate the TLB under it.
+        self.machine.cpu.tlb.flush_pcid(pcid);
+        Ok((seg, pcid))
+    }
+
+    /// Full cold boot: platform construction (charged: the host maps the
+    /// whole delegated segment into the container's physmap), kernel boot,
+    /// and init warmup.
+    fn start_cold(&mut self, spec: &StartSpec) -> Result<ContainerId, HostError> {
+        let (seg, pcid) = self.alloc_resources(spec.seg_bytes)?;
+        let sp = self.machine.cpu.span_enter("cloud.boot");
+        let mark = self.machine.cpu.clock.mark();
+
+        let cfg = self.stack_config(spec, seg, pcid);
+        let platform = Backend::Cki.build_platform(&mut self.machine, &cfg);
+        // Charge the physmap construction the host just performed: one PTE
+        // per segment page plus the backing table frames.
+        let model = self.machine.cpu.clock.model();
+        let pages = seg.len() / PAGE_SIZE;
+        let physmap =
+            pages * model.pte_write + (pages / 512 + 3) * (model.frame_alloc + model.zero_page);
+        self.machine.cpu.clock.charge(Tag::Mmu, physmap);
+        let kernel = Kernel::boot(platform, &mut self.machine);
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.containers.insert(
+            id,
+            Container {
+                id,
+                kernel,
+                seg,
+                pcid,
+            },
+        );
+        self.warmup(id, spec.warmup_pages)?;
+
+        let cycles = self.machine.cpu.clock.since(mark);
+        self.machine.cpu.span_exit(sp);
+        self.machine.cpu.metrics.inc(self.ids.cold_boots);
+        self.machine
+            .cpu
+            .metrics
+            .observe(self.ids.boot_cycles, cycles);
+        Ok(id)
+    }
+
+    /// Snapshot clone: construct the container's monitor state, restore
+    /// the template's segment image and translations into the new range,
+    /// and clone the guest kernel's functional state.
+    fn start_clone(&mut self, spec: &StartSpec) -> Result<ContainerId, HostError> {
+        let key = spec.template_key();
+        let (seg, pcid) = self.alloc_resources(spec.seg_bytes)?;
+        let sp = self.machine.cpu.span_enter("cloud.clone");
+        let mark = self.machine.cpu.clock.mark();
+
+        let cfg = self.stack_config(spec, seg, pcid);
+        let mut platform = Backend::Cki.build_platform(&mut self.machine, &cfg);
+        let cki = platform
+            .as_any_mut()
+            .downcast_mut::<CkiPlatform>()
+            .expect("CKI platform");
+        let tmpl = self.templates.get(&key).expect("template ensured");
+        let tmpl_cki = tmpl
+            .kernel
+            .platform
+            .as_any()
+            .downcast_ref::<CkiPlatform>()
+            .expect("CKI template platform");
+        let report = cki.adopt_from(&mut self.machine, tmpl_cki);
+        let old_start = tmpl.seg.start;
+        let new_start = seg.start;
+        let kernel = tmpl
+            .kernel
+            .clone_with_platform(platform, move |pa| new_start + (pa - old_start));
+
+        // The clone's cost model: fixed activation + the copies and
+        // rebases actually performed. The template's own physmap/boot cost
+        // was paid once, when the template booted.
+        let pte_write = self.machine.cpu.clock.model().pte_write;
+        let cycles = CLONE_ACTIVATE_CYCLES
+            + report.pages_copied * copy_cycles(PAGE_SIZE)
+            + report.pte_rewrites * pte_write;
+        self.machine.cpu.clock.charge(Tag::Mmu, cycles);
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.containers.insert(
+            id,
+            Container {
+                id,
+                kernel,
+                seg,
+                pcid,
+            },
+        );
+
+        let cycles = self.machine.cpu.clock.since(mark);
+        self.machine.cpu.span_exit(sp);
+        self.machine.cpu.metrics.inc(self.ids.clones);
+        self.machine
+            .cpu
+            .metrics
+            .add(self.ids.clone_pages_copied, report.pages_copied);
+        self.machine
+            .cpu
+            .metrics
+            .observe(self.ids.clone_cycles, cycles);
+        Ok(id)
+    }
+
+    fn stack_config(&self, spec: &StartSpec, seg: Segment, pcid: u16) -> StackConfig {
+        StackConfig {
+            mem_bytes: self.machine.mem.size(),
+            vm_bytes: spec.seg_bytes,
+            clients: 0,
+            vcpus: spec.vcpus,
+            pcid: Some(pcid),
+            seg: Some(seg),
+        }
+    }
+
+    /// Init warmup: exec the runtime and touch its working set, so both
+    /// cold boots and the template snapshot reach the same "ready to
+    /// serve" state.
+    fn warmup(&mut self, id: ContainerId, pages: u64) -> Result<(), HostError> {
+        if pages == 0 {
+            return Ok(());
+        }
+        self.enter(id, |env| {
+            env.sys(Sys::Execve).expect("warmup execve");
+            let len = pages * PAGE_SIZE;
+            let base = env.mmap(len).expect("warmup mmap");
+            env.touch_range(base, len, true).expect("warmup touch");
+        })
+    }
+
+    /// Stops a container, reclaiming its segment, PCID, and every host
+    /// frame its monitor state occupied.
     pub fn stop_container(&mut self, id: ContainerId) -> Result<(), HostError> {
-        let c = self
+        let mut c = self
             .containers
             .remove(&id)
             .ok_or(HostError::NoSuchContainer)?;
-        // The segment is wiped and reclaimed; KSM host-side pages stay with
-        // the machine allocator (reused on the next boot).
-        self.machine.cpu.tlb.flush_pcid(pcid_of(&c));
+        self.machine.cpu.tlb.flush_pcid(c.pcid);
+        if let Some(p) = c.kernel.platform.as_any_mut().downcast_mut::<CkiPlatform>() {
+            p.teardown(&mut self.machine);
+        }
+        self.pcids.release(c.pcid);
         self.segments.free(c.seg);
         self.stopped += 1;
         Ok(())
+    }
+
+    /// Migrates live containers (and templates) toward the pool base so
+    /// all free memory forms one contiguous extent.
+    ///
+    /// Explicitly invoked — typically after a start failed with
+    /// [`HostError::OutOfContiguousMemory`] while [`CloudHost::free_bytes`]
+    /// showed enough total memory. Every resident page copy and PTE
+    /// rewrite is cycle-charged; the report says how much work was done.
+    pub fn compact(&mut self) -> CompactionReport {
+        let sp = self.machine.cpu.span_enter("cloud.compact");
+        let mark = self.machine.cpu.clock.mark();
+        // Owners in a stable order, matched to the allocator's plan by
+        // old segment start address.
+        let mut owners: Vec<SegmentOwner> = Vec::new();
+        let mut segs: Vec<Segment> = Vec::new();
+        for (&id, c) in &self.containers {
+            owners.push((Some(id), (0, 0, 0)));
+            segs.push(c.seg);
+        }
+        for (&key, t) in &self.templates {
+            owners.push((None, key));
+            segs.push(t.seg);
+        }
+        let by_start: HashMap<u64, SegmentOwner> = segs
+            .iter()
+            .zip(&owners)
+            .map(|(s, o)| (s.start, *o))
+            .collect();
+        let moves = self.segments.compact(&mut segs);
+
+        let mut report = CompactionReport::default();
+        let pte_write = self.machine.cpu.clock.model().pte_write;
+        for (old, new) in moves {
+            let owner = by_start.get(&old.start).expect("planned segment");
+            // Migrate the page image first (ascending copy handles the
+            // overlapping slide-left case), then rebase translations.
+            let resident = self.machine.mem.resident_range(old.start, old.end).len() as u64;
+            let mut pa = old.start;
+            while pa < old.end {
+                self.machine
+                    .mem
+                    .copy_frame(pa, new.start + (pa - old.start));
+                pa += PAGE_SIZE;
+            }
+            let c = match owner {
+                (Some(id), _) => self.containers.get_mut(id).expect("live container"),
+                (None, key) => self.templates.get_mut(key).expect("live template"),
+            };
+            let cki = c
+                .kernel
+                .platform
+                .as_any_mut()
+                .downcast_mut::<CkiPlatform>()
+                .expect("CKI platform");
+            let rewrites = cki.ksm.rebase(&mut self.machine, new);
+            cki.rebase_guest_frames(new.start);
+            let (old_start, new_start) = (old.start, new.start);
+            c.kernel
+                .rebase_frames(move |pa| new_start + (pa - old_start));
+            c.seg = new;
+
+            let cycles =
+                MIGRATE_FIXED_CYCLES + resident * copy_cycles(PAGE_SIZE) + rewrites * pte_write;
+            self.machine.cpu.clock.charge(Tag::Mmu, cycles);
+            report.moved += 1;
+            report.pages_migrated += resident;
+            report.pte_rewrites += rewrites;
+        }
+        report.cycles = self.machine.cpu.clock.since(mark);
+        self.machine.cpu.span_exit(sp);
+        self.machine.cpu.metrics.inc(self.ids.compactions);
+        self.machine
+            .cpu
+            .metrics
+            .add(self.ids.pages_migrated, report.pages_migrated);
+        report
     }
 
     /// Runs `f` inside container `id` (switching the CPU to it first).
@@ -157,9 +554,14 @@ impl CloudHost {
         Ok(f(&mut env))
     }
 
-    /// Number of running containers.
+    /// Number of running containers (templates not included).
     pub fn running(&self) -> usize {
         self.containers.len()
+    }
+
+    /// Borrows a running container (e.g. to inspect its kernel state).
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
     }
 
     /// Free delegatable bytes (across all extents).
@@ -176,21 +578,18 @@ impl CloudHost {
     pub fn fragmentation(&self) -> f64 {
         self.segments.fragmentation()
     }
-}
 
-fn pcid_of(c: &Container) -> u16 {
-    c.kernel
-        .platform
-        .as_any()
-        .downcast_ref::<CkiPlatform>()
-        .map(|p| p.ksm.pcid)
-        .unwrap_or(0)
+    /// PCIDs currently assigned (containers + templates).
+    pub fn pcids_in_use(&self) -> usize {
+        self.pcids.in_use()
+    }
 }
 
 impl std::fmt::Debug for CloudHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CloudHost")
             .field("running", &self.containers.len())
+            .field("templates", &self.templates.len())
             .field("free_bytes", &self.free_bytes())
             .field("fragmentation", &self.fragmentation())
             .finish()
@@ -282,5 +681,75 @@ mod tests {
         );
         // But a small one still can.
         assert!(h.start_container(small).is_ok());
+    }
+
+    #[test]
+    fn compaction_recovers_fragmented_pool() {
+        let mut h = CloudHost::new(4096 * MIB, 512 * MIB);
+        let small = 128 * MIB;
+        let mut ids = Vec::new();
+        while h.free_bytes() >= small {
+            match h.start_container(small) {
+                Ok(id) => ids.push(id),
+                Err(_) => break,
+            }
+        }
+        for &id in ids.iter().step_by(2) {
+            h.stop_container(id).unwrap();
+        }
+        let big = h.largest_startable() + small;
+        assert_eq!(
+            h.start_container(big),
+            Err(HostError::OutOfContiguousMemory)
+        );
+        // Explicit compaction makes the same start succeed.
+        let report = h.compact();
+        assert!(report.moved > 0);
+        assert!(report.pages_migrated > 0);
+        assert!(report.cycles > 0);
+        assert_eq!(h.fragmentation(), 0.0);
+        let id = h.start_container(big).unwrap();
+        // Survivors and the new container still work after migration.
+        for &i in ids.iter().skip(1).step_by(2).chain([&id]) {
+            let pid = h.enter(i, |env| env.sys(Sys::Getpid).unwrap()).unwrap();
+            assert_eq!(pid, 1);
+        }
+    }
+
+    #[test]
+    fn clone_start_is_much_cheaper_than_boot() {
+        let mut h = host();
+        let spec = StartSpec::new(64 * MIB).with_warmup_pages(64);
+        // Template boots once (not measured).
+        h.ensure_template(&spec).unwrap();
+
+        let mark = h.machine.cpu.clock.mark();
+        let cold = h.start(spec).unwrap();
+        let boot_cycles = h.machine.cpu.clock.since(mark);
+
+        let mark = h.machine.cpu.clock.mark();
+        let cloned = h.start(spec.cloned()).unwrap();
+        let clone_cycles = h.machine.cpu.clock.since(mark);
+
+        assert!(
+            boot_cycles >= 5 * clone_cycles,
+            "boot {boot_cycles} vs clone {clone_cycles} cycles"
+        );
+        // Both are live and functional.
+        for id in [cold, cloned] {
+            let pid = h.enter(id, |env| env.sys(Sys::Getpid).unwrap()).unwrap();
+            assert_eq!(pid, 1);
+        }
+    }
+
+    #[test]
+    fn pcids_recycle_across_stop_start() {
+        let mut h = host();
+        let a = h.start_container(64 * MIB).unwrap();
+        let pcid_a = h.containers[&a].pcid;
+        h.stop_container(a).unwrap();
+        let b = h.start_container(64 * MIB).unwrap();
+        assert_eq!(h.containers[&b].pcid, pcid_a, "released tag is reused");
+        assert_eq!(h.pcids_in_use(), 1);
     }
 }

@@ -38,7 +38,10 @@
 pub mod cloud;
 
 pub use cki_core;
-pub use cloud::{CloudHost, Container, ContainerId, HostError};
+pub use cloud::{
+    CloudHost, CompactionReport, Container, ContainerId, HostError, StartSpec,
+    CLONE_ACTIVATE_CYCLES, MIGRATE_FIXED_CYCLES,
+};
 pub use guest_os;
 pub use obs;
 pub use sim_hw;
@@ -48,6 +51,7 @@ pub use vmm;
 use cki_core::{CkiConfig, CkiPlatform};
 use guest_os::{Env, Kernel, NativePlatform, Platform};
 use sim_hw::{HwExtensions, Machine};
+use sim_mem::Segment;
 use vmm::{HvmPlatform, PvmPlatform};
 
 /// Which container design to boot (the paper's comparison axis).
@@ -122,7 +126,116 @@ impl Backend {
                 | Backend::CkiGateMitigated
         )
     }
+
+    /// Builds this backend's platform on `machine` — the *single*
+    /// construction path shared by [`Stack::new`], the cloud control plane
+    /// ([`CloudHost`]), and the differential-testing executors.
+    ///
+    /// CKI backends honour the orchestration fields of [`StackConfig`]:
+    /// `vcpus`, a `pcid` override, and an optional pre-delegated segment
+    /// (`seg`); every other backend ignores them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine cannot back the platform (wrong hardware
+    /// extensions, not enough contiguous memory, segment/size mismatch) —
+    /// use [`Stack::try_new`] for preflight validation.
+    pub fn build_platform(self, machine: &mut Machine, config: &StackConfig) -> Box<dyn Platform> {
+        let cki_cfg = |base: CkiConfig| CkiConfig {
+            seg_bytes: config.vm_bytes,
+            vcpus: config.vcpus,
+            pcid: config.pcid.unwrap_or(base.pcid),
+            ..base
+        };
+        let build_cki = |machine: &mut Machine, cfg: CkiConfig| match config.seg {
+            Some(seg) => CkiPlatform::new_with_segment(machine, cfg, seg),
+            None => CkiPlatform::new(machine, cfg),
+        };
+        match self {
+            Backend::RunC => Box::new(NativePlatform::new(1).with_clients(config.clients)),
+            Backend::HvmBm => Box::new(
+                HvmPlatform::new(machine, config.vm_bytes, false).with_clients(config.clients),
+            ),
+            Backend::HvmBm2M => Box::new(
+                HvmPlatform::new(machine, config.vm_bytes, false)
+                    .with_huge_ept(true)
+                    .with_clients(config.clients),
+            ),
+            Backend::HvmNested => Box::new(
+                HvmPlatform::new(machine, config.vm_bytes, true).with_clients(config.clients),
+            ),
+            Backend::Pvm => Box::new(PvmPlatform::new(machine, false).with_clients(config.clients)),
+            Backend::PvmNested => {
+                Box::new(PvmPlatform::new(machine, true).with_clients(config.clients))
+            }
+            Backend::Cki | Backend::CkiNested => {
+                let cfg = cki_cfg(CkiConfig {
+                    nested: self == Backend::CkiNested,
+                    ..CkiConfig::default()
+                });
+                Box::new(build_cki(machine, cfg).with_clients(config.clients))
+            }
+            Backend::CkiWoOpt2 => {
+                let cfg = cki_cfg(CkiConfig {
+                    opt2_no_pt_switch: false,
+                    ..CkiConfig::default()
+                });
+                Box::new(build_cki(machine, cfg).with_clients(config.clients))
+            }
+            Backend::CkiWoOpt3 => {
+                let cfg = cki_cfg(CkiConfig {
+                    opt3_direct_sysret: false,
+                    ..CkiConfig::default()
+                });
+                Box::new(build_cki(machine, cfg).with_clients(config.clients))
+            }
+            Backend::CkiGateMitigated => {
+                let cfg = cki_cfg(CkiConfig {
+                    gate_sidechannel_mitigation: true,
+                    ..CkiConfig::default()
+                });
+                Box::new(build_cki(machine, cfg).with_clients(config.clients))
+            }
+            Backend::Gvisor => {
+                Box::new(vmm::GvisorPlatform::new(machine).with_clients(config.clients))
+            }
+            Backend::LibOs => Box::new(vmm::LibOsPlatform::new(machine)),
+        }
+    }
 }
+
+/// Why a stack (or cloud host) could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BootError {
+    /// The machine's physical memory cannot back the requested VM /
+    /// delegated-segment size plus host overhead.
+    InsufficientMemory {
+        /// Bytes the configuration needs (including host overhead).
+        required: u64,
+        /// Bytes the machine has.
+        available: u64,
+    },
+    /// A configuration field is out of range.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for BootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootError::InsufficientMemory {
+                required,
+                available,
+            } => write!(
+                f,
+                "insufficient memory: need {required} bytes, machine has {available}"
+            ),
+            BootError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {}
 
 /// Stack sizing and client configuration.
 #[derive(Debug, Clone, Copy)]
@@ -133,6 +246,15 @@ pub struct StackConfig {
     pub vm_bytes: u64,
     /// Closed-loop clients attached to the NIC (0 = none).
     pub clients: u32,
+    /// vCPUs for CKI backends (per-vCPU areas and root copies).
+    pub vcpus: u32,
+    /// PCID override for CKI backends (`None` = the default tag). Hosts
+    /// multiplexing containers assign distinct tags per container.
+    pub pcid: Option<u16>,
+    /// Pre-delegated segment for CKI backends (`None` = carve from the
+    /// machine's frame allocator). Must match `vm_bytes` in length. Set by
+    /// orchestration layers that manage the segment pool themselves.
+    pub seg: Option<Segment>,
 }
 
 impl Default for StackConfig {
@@ -141,6 +263,9 @@ impl Default for StackConfig {
             mem_bytes: 2 * 1024 * 1024 * 1024,
             vm_bytes: 512 * 1024 * 1024,
             clients: 0,
+            vcpus: CkiConfig::default().vcpus,
+            pcid: None,
+            seg: None,
         }
     }
 }
@@ -160,76 +285,75 @@ impl Stack {
     ///
     /// # Panics
     ///
-    /// Panics if the machine cannot back the requested VM size.
+    /// Panics if the configuration fails [`Stack::try_new`]'s preflight
+    /// validation (e.g. the machine cannot back the requested VM size).
     pub fn new(backend: Backend, config: StackConfig) -> Self {
+        Self::try_new(backend, config).unwrap_or_else(|e| panic!("booting {}: {e}", backend.name()))
+    }
+
+    /// Boots `backend` with `config`, validating the configuration first.
+    ///
+    /// Returns [`BootError`] for configurations that cannot work: a VM /
+    /// segment larger than the machine can back (including host overhead
+    /// for page tables and monitor state), zero-sized fields, an
+    /// out-of-range PCID, or a pre-delegated segment whose length
+    /// disagrees with `vm_bytes`.
+    pub fn try_new(backend: Backend, config: StackConfig) -> Result<Self, BootError> {
+        // The machine itself reserves the first 16 MiB for firmware/host
+        // text; virtualized backends additionally need frames for their
+        // translation structures (~vm_bytes/128) and monitor state.
+        const HOST_RESERVE: u64 = 16 * 1024 * 1024;
+        const MONITOR_SLACK: u64 = 16 * 1024 * 1024;
+        let uses_vm_carve = !matches!(backend, Backend::RunC | Backend::Gvisor | Backend::LibOs);
+        if config.mem_bytes <= HOST_RESERVE {
+            return Err(BootError::InsufficientMemory {
+                required: HOST_RESERVE + 1,
+                available: config.mem_bytes,
+            });
+        }
+        if uses_vm_carve {
+            if config.vm_bytes == 0 {
+                return Err(BootError::InvalidConfig("vm_bytes must be non-zero"));
+            }
+            if config.seg.is_none() {
+                let required =
+                    config.vm_bytes + config.vm_bytes / 128 + HOST_RESERVE + MONITOR_SLACK;
+                if required > config.mem_bytes {
+                    return Err(BootError::InsufficientMemory {
+                        required,
+                        available: config.mem_bytes,
+                    });
+                }
+            }
+        }
+        if backend.needs_cki_hw() {
+            if config.vcpus == 0 {
+                return Err(BootError::InvalidConfig("vcpus must be non-zero"));
+            }
+            if let Some(p) = config.pcid {
+                if p == 0 || p >= sim_hw::pcid::PCID_COUNT - 1 {
+                    return Err(BootError::InvalidConfig("pcid out of range"));
+                }
+            }
+            if let Some(seg) = config.seg {
+                if seg.len() != config.vm_bytes {
+                    return Err(BootError::InvalidConfig("seg length != vm_bytes"));
+                }
+            }
+        }
         let ext = if backend.needs_cki_hw() {
             HwExtensions::cki()
         } else {
             HwExtensions::baseline()
         };
         let mut machine = Machine::new(config.mem_bytes, ext);
-        let platform: Box<dyn Platform> = match backend {
-            Backend::RunC => Box::new(NativePlatform::new(1).with_clients(config.clients)),
-            Backend::HvmBm => Box::new(
-                HvmPlatform::new(&mut machine, config.vm_bytes, false).with_clients(config.clients),
-            ),
-            Backend::HvmBm2M => Box::new(
-                HvmPlatform::new(&mut machine, config.vm_bytes, false)
-                    .with_huge_ept(true)
-                    .with_clients(config.clients),
-            ),
-            Backend::HvmNested => Box::new(
-                HvmPlatform::new(&mut machine, config.vm_bytes, true).with_clients(config.clients),
-            ),
-            Backend::Pvm => {
-                Box::new(PvmPlatform::new(&mut machine, false).with_clients(config.clients))
-            }
-            Backend::PvmNested => {
-                Box::new(PvmPlatform::new(&mut machine, true).with_clients(config.clients))
-            }
-            Backend::Cki | Backend::CkiNested => {
-                let cfg = CkiConfig {
-                    nested: backend == Backend::CkiNested,
-                    seg_bytes: config.vm_bytes,
-                    ..CkiConfig::default()
-                };
-                Box::new(CkiPlatform::new(&mut machine, cfg).with_clients(config.clients))
-            }
-            Backend::CkiWoOpt2 => {
-                let cfg = CkiConfig {
-                    opt2_no_pt_switch: false,
-                    seg_bytes: config.vm_bytes,
-                    ..CkiConfig::default()
-                };
-                Box::new(CkiPlatform::new(&mut machine, cfg).with_clients(config.clients))
-            }
-            Backend::CkiWoOpt3 => {
-                let cfg = CkiConfig {
-                    opt3_direct_sysret: false,
-                    seg_bytes: config.vm_bytes,
-                    ..CkiConfig::default()
-                };
-                Box::new(CkiPlatform::new(&mut machine, cfg).with_clients(config.clients))
-            }
-            Backend::CkiGateMitigated => {
-                let cfg = CkiConfig {
-                    gate_sidechannel_mitigation: true,
-                    seg_bytes: config.vm_bytes,
-                    ..CkiConfig::default()
-                };
-                Box::new(CkiPlatform::new(&mut machine, cfg).with_clients(config.clients))
-            }
-            Backend::Gvisor => {
-                Box::new(vmm::GvisorPlatform::new(&mut machine).with_clients(config.clients))
-            }
-            Backend::LibOs => Box::new(vmm::LibOsPlatform::new(&mut machine)),
-        };
+        let platform = backend.build_platform(&mut machine, &config);
         let kernel = Kernel::boot(platform, &mut machine);
-        Self {
+        Ok(Self {
             machine,
             kernel,
             backend,
-        }
+        })
     }
 
     /// The application environment for running workloads.
@@ -306,6 +430,48 @@ mod tests {
             let base = env.mmap(64 * 1024).unwrap();
             env.touch_range(base, 64 * 1024, true).unwrap();
         }
+    }
+
+    #[test]
+    fn try_new_validates_configuration() {
+        let cfg = |mem: u64, vm: u64| StackConfig {
+            mem_bytes: mem,
+            vm_bytes: vm,
+            ..StackConfig::default()
+        };
+        assert!(matches!(
+            Stack::try_new(Backend::Cki, cfg(1 << 30, 4 << 30)),
+            Err(BootError::InsufficientMemory { .. })
+        ));
+        assert!(matches!(
+            Stack::try_new(Backend::HvmBm, cfg(2 << 30, 0)),
+            Err(BootError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Stack::try_new(
+                Backend::Cki,
+                StackConfig {
+                    vcpus: 0,
+                    ..StackConfig::default()
+                }
+            ),
+            Err(BootError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Stack::try_new(
+                Backend::Cki,
+                StackConfig {
+                    pcid: Some(0),
+                    ..StackConfig::default()
+                }
+            ),
+            Err(BootError::InvalidConfig(_))
+        ));
+        // RunC ignores vm sizing entirely.
+        assert!(Stack::try_new(Backend::RunC, cfg(1 << 30, 0)).is_ok());
+        // And a valid config still boots.
+        let mut s = Stack::try_new(Backend::Cki, cfg(1 << 30, 128 << 20)).unwrap();
+        assert_eq!(s.env().sys(Sys::Getpid).unwrap(), 1);
     }
 
     #[test]
