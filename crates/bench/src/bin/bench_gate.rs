@@ -1,0 +1,169 @@
+//! `bench_gate`: the bench-regression gate.
+//!
+//! Compares the machine-readable benchmark outputs (`cloud_churn`,
+//! `slo_report`, `perf_report`) against the committed baseline
+//! `results/BENCH_baseline.json`, failing if any numeric field drifts by
+//! more than ±10% (with a small absolute slack so `0 vs 0`-style counters
+//! compare cleanly). Schema drift — a field appearing or disappearing — is
+//! also a failure, so a silently dropped metric cannot pass.
+//!
+//! The simulation is deterministic, so at the scale the baseline was
+//! recorded the comparison is usually exact; the tolerance is headroom for
+//! intentional cost-model evolution, not for noise. The baseline records
+//! its scale and the gate refuses to compare across scales.
+//!
+//! ```sh
+//! # CI / local check (after running the three bins at the same scale):
+//! CKI_BENCH_SCALE=quick cargo run --release -p cki-bench --bin bench_gate
+//! # Refresh the baseline after an intentional performance change:
+//! CKI_BENCH_SCALE=quick cargo run --release -p cki-bench --bin bench_gate -- write
+//! ```
+
+use std::fmt::Write as _;
+
+use cki_bench::{flat_json, FlatValue};
+
+const SECTIONS: &[(&str, &str)] = &[
+    ("cloud_churn", "results/BENCH_cloud_churn.json"),
+    ("slo_report", "results/BENCH_slo_report.json"),
+    ("perf_report", "results/perf_report.json"),
+];
+const BASELINE: &str = "results/BENCH_baseline.json";
+const TOLERANCE: f64 = 0.10;
+const ABS_SLACK: f64 = 2.0;
+
+fn load(path: &str) -> Vec<(String, FlatValue)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("cannot read {path}: {e} — run the benchmark bins first (see --help text in the module docs)")
+    });
+    flat_json(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+/// The scale a result file was produced at, if it records one.
+fn scale_of(flat: &[(String, FlatValue)]) -> Option<String> {
+    flat.iter().find_map(|(k, v)| match (k.as_str(), v) {
+        ("scale", FlatValue::Str(s)) => Some(s.clone()),
+        _ => None,
+    })
+}
+
+fn write_baseline() {
+    let mut scale: Option<String> = None;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"tolerance_pct\": {},", TOLERANCE * 100.0);
+    for (i, (section, path)) in SECTIONS.iter().enumerate() {
+        let flat = load(path);
+        if scale.is_none() {
+            scale = scale_of(&flat);
+        }
+        if i == 0 {
+            let s = scale.as_deref().expect("result files record their scale");
+            let _ = writeln!(json, "  \"scale\": \"{s}\",");
+        }
+        let _ = writeln!(json, "  \"{section}\": {{");
+        let nums: Vec<(String, f64)> = flat
+            .iter()
+            .filter(|(k, _)| k != "scale")
+            .filter_map(|(k, v)| v.as_num().map(|n| (k.clone(), n)))
+            .collect();
+        for (j, (k, n)) in nums.iter().enumerate() {
+            let comma = if j + 1 == nums.len() { "" } else { "," };
+            let _ = writeln!(json, "    \"{k}\": {n}{comma}");
+        }
+        let comma = if i + 1 == SECTIONS.len() { "" } else { "," };
+        let _ = writeln!(json, "  }}{comma}");
+    }
+    json.push('}');
+    assert!(obs::export::json_balanced(&json), "malformed baseline");
+    std::fs::write(BASELINE, &json).expect("write baseline");
+    println!(
+        "bench_gate: wrote {BASELINE} at scale {}",
+        scale.as_deref().unwrap_or("?")
+    );
+}
+
+fn check() {
+    let baseline = load(BASELINE);
+    let base_scale = scale_of(&baseline).expect("baseline records its scale");
+    let mut violations: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+
+    for (section, path) in SECTIONS {
+        let current = load(path);
+        if let Some(cur_scale) = scale_of(&current) {
+            if cur_scale != base_scale {
+                violations.push(format!(
+                    "{path}: produced at scale {cur_scale} but the baseline was recorded at \
+                     {base_scale} — rerun with CKI_BENCH_SCALE={} or refresh the baseline \
+                     (`bench_gate write`)",
+                    base_scale.to_lowercase()
+                ));
+                continue;
+            }
+        }
+        let prefix = format!("{section}.");
+        let base: Vec<(&str, f64)> = baseline
+            .iter()
+            .filter_map(|(k, v)| {
+                let key = k.strip_prefix(&prefix)?;
+                Some((key, v.as_num()?))
+            })
+            .collect();
+        let cur: Vec<(&str, f64)> = current
+            .iter()
+            .filter(|(k, _)| k != "scale")
+            .filter_map(|(k, v)| v.as_num().map(|n| (k.as_str(), n)))
+            .collect();
+        for (key, b) in &base {
+            let Some((_, c)) = cur.iter().find(|(k, _)| k == key) else {
+                violations.push(format!(
+                    "{section}.{key}: in the baseline but missing from {path} (schema drift — \
+                     refresh the baseline if intentional)"
+                ));
+                continue;
+            };
+            compared += 1;
+            let allowed = (TOLERANCE * b.abs()).max(ABS_SLACK);
+            let delta = c - b;
+            if delta.abs() > allowed {
+                violations.push(format!(
+                    "{section}.{key}: {c} vs baseline {b} ({:+.1}%, allowed ±{:.1}%)",
+                    100.0 * delta / b.abs().max(f64::MIN_POSITIVE),
+                    100.0 * allowed / b.abs().max(f64::MIN_POSITIVE),
+                ));
+            }
+        }
+        for (key, _) in &cur {
+            if !base.iter().any(|(k, _)| k == key) {
+                violations.push(format!(
+                    "{section}.{key}: new field not in the baseline — refresh it \
+                     (`bench_gate write`)"
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "bench_gate: {compared} metrics within ±{:.0}% of {BASELINE} (scale {base_scale})",
+            TOLERANCE * 100.0
+        );
+    } else {
+        eprintln!("bench_gate: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("write") => write_baseline(),
+        None | Some("check") => check(),
+        Some(other) => {
+            eprintln!("bench_gate: unknown mode '{other}' (use 'check' or 'write')");
+            std::process::exit(2);
+        }
+    }
+}

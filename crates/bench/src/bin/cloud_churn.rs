@@ -14,7 +14,7 @@
 
 use std::fmt::Write as _;
 
-use cki::{CloudHost, HostError, StartSpec};
+use cki::{CloudHost, HostError, SloWatchdog, StartSpec};
 use cki_bench::Scale;
 use guest_os::Sys;
 use obs::rng::SmallRng;
@@ -38,6 +38,10 @@ fn main() {
     // Pool ≈ 3 GiB: tight enough that a ~100-container mixed fleet runs
     // the pool near capacity, where churn fragments the free space.
     let mut host = CloudHost::new(6656 * MIB, 512 * MIB);
+    // Production posture: flight recorders on every container plus the
+    // default SLO rule set, evaluated every 1M simulated cycles. The
+    // benchmark asserts below that this whole layer costs <5% of the run.
+    host.enable_observability(64, SloWatchdog::cloud_default(1_000_000));
     let mut rng = SmallRng::seed_from_u64(0x5eed_c10d);
 
     // Phase 1 — start-path cost: cold boot vs snapshot clone of the same
@@ -125,6 +129,23 @@ fn main() {
     let freq_ghz = host.machine.cpu.clock.model().freq_ghz;
     let to_us = |c: u64| c as f64 / freq_ghz / 1000.0;
 
+    // Observability accounting: what the flight recorders + watchdog cost,
+    // and how close the streaming sketch tail is to the exact offline one.
+    let total_cycles = host.machine.cpu.clock.cycles();
+    let obs_cycles = host.obs_overhead_cycles();
+    let obs_pct = 100.0 * obs_cycles as f64 / total_cycles.max(1) as f64;
+    let metrics = &host.machine.cpu.metrics;
+    let invoke_sketch = metrics
+        .sketch_id_of("cloud.invoke_cycles", None)
+        .expect("invoke sketch registered");
+    let sketch_p50 = metrics.sketch_quantile(invoke_sketch, 0.50);
+    let sketch_p99 = metrics.sketch_quantile(invoke_sketch, 0.99);
+    let exact_p99 = percentile(&invoke_cycles, 0.99);
+    let p99_err = (sketch_p99 as f64 - exact_p99 as f64).abs() / exact_p99.max(1) as f64;
+    let wd = host.watchdog().expect("watchdog enabled");
+    let (wd_ticks, wd_rules) = (wd.ticks(), wd.rules().len());
+    let incidents = host.incidents().len();
+
     println!("== Cloud churn ({cycles} cycles, fleet ~{fleet_target}, sizes {SIZES_MIB:?} MiB)");
     println!(
         "cold start : {boot_mean:>9} cycles ({:.1} us)",
@@ -143,9 +164,28 @@ fn main() {
         "frag stalls: {recovered_stalls} (all recovered by compaction); {compactions} compactions, \
          {pages_migrated} pages migrated, {compaction_cycles} cycles"
     );
+    println!(
+        "obs        : {obs_cycles} cycles ({obs_pct:.3}% of run) for {} flight records, \
+         {wd_ticks} watchdog ticks ({wd_rules} rules), {incidents} incidents",
+        host.flight_records()
+    );
+    println!(
+        "sketch p99 : {sketch_p99} cycles vs exact {exact_p99} ({:.2}% error)",
+        p99_err * 100.0
+    );
     assert!(
         ratio >= 5.0,
         "snapshot clone must be >=5x cheaper than cold boot (got {ratio:.2}x)"
+    );
+    assert!(
+        obs_pct < 5.0,
+        "flight recorder + watchdog must cost <5% of the run (got {obs_pct:.3}%)"
+    );
+    assert!(
+        p99_err <= 0.05,
+        "sketch p99 {sketch_p99} must be within 5% of exact p99 {exact_p99} \
+         (got {:.2}%)",
+        p99_err * 100.0
     );
 
     let mut json = String::from("{\n");
@@ -177,7 +217,14 @@ fn main() {
     );
     let _ = writeln!(json, "  \"containers_started\": {},", host.started);
     let _ = writeln!(json, "  \"containers_stopped\": {},", host.stopped);
-    let _ = writeln!(json, "  \"pcids_in_use_end\": {}", host.pcids_in_use());
+    let _ = writeln!(json, "  \"pcids_in_use_end\": {},", host.pcids_in_use());
+    let _ = writeln!(json, "  \"sketch_invoke_p50_cycles\": {sketch_p50},");
+    let _ = writeln!(json, "  \"sketch_invoke_p99_cycles\": {sketch_p99},");
+    let _ = writeln!(json, "  \"obs_overhead_cycles\": {obs_cycles},");
+    let _ = writeln!(json, "  \"obs_overhead_pct\": {obs_pct:.4},");
+    let _ = writeln!(json, "  \"flight_records\": {},", host.flight_records());
+    let _ = writeln!(json, "  \"watchdog_ticks\": {wd_ticks},");
+    let _ = writeln!(json, "  \"slo_incidents\": {incidents}");
     json.push('}');
     assert!(obs::export::json_balanced(&json), "malformed JSON output");
     std::fs::create_dir_all("results").expect("results dir");

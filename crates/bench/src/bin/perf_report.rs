@@ -15,6 +15,8 @@
 //! 3. **Export**: the Chrome-trace JSON of a profiled run must be
 //!    structurally valid.
 
+use std::fmt::Write as _;
+
 use cki::{Backend, Stack, StackConfig};
 use cki_bench::Matrix;
 use guest_os::Sys;
@@ -237,6 +239,29 @@ fn main() {
             trace.matches("\"ph\"").count()
         ),
     );
+
+    // Machine-readable summary: per-backend end-to-end latencies plus the
+    // drift-check tally, for the CI bench-regression gate and artifact
+    // upload (`bench_gate` compares this against the committed baseline).
+    let mut json = String::from("{\n");
+    let field = |json: &mut String, prefix: &str, cases: &[(&str, Breakdown, f64)]| {
+        for (name, b, _) in cases {
+            let key = name.to_lowercase().replace('-', "_");
+            let _ = writeln!(json, "  \"{prefix}_{key}_ns\": {:.3},", b.end_to_end_ns);
+        }
+    };
+    field(&mut json, "pgfault", &pf);
+    field(&mut json, "syscall", &sc);
+    let _ = writeln!(
+        json,
+        "  \"trace_events\": {},",
+        trace.matches("\"ph\"").count()
+    );
+    let _ = writeln!(json, "  \"drift_failures\": {}", failures.len());
+    json.push('}');
+    assert!(json_balanced(&json), "malformed JSON output");
+    std::fs::write("results/perf_report.json", &json).expect("write json");
+    println!("wrote results/perf_report.json");
 
     if failures.is_empty() {
         println!("\nperf_report: all span-derived breakdowns agree with DESIGN.md §4.");

@@ -14,4 +14,4 @@ pub mod experiments;
 pub mod harness;
 pub mod util;
 
-pub use util::{Matrix, Scale};
+pub use util::{flat_json, FlatValue, Matrix, Scale};

@@ -199,6 +199,210 @@ impl Matrix {
     }
 }
 
+/// A scalar extracted from a JSON document by [`flat_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatValue {
+    /// A JSON number.
+    Num(f64),
+    /// A JSON string (common escapes decoded).
+    Str(String),
+    /// A JSON boolean.
+    Bool(bool),
+    /// JSON `null`.
+    Null,
+}
+
+impl FlatValue {
+    /// Numeric view: numbers as-is, booleans as 0/1, else `None`.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            FlatValue::Num(v) => Some(*v),
+            FlatValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+}
+
+/// Flattens a JSON document into `(dotted.path, scalar)` pairs in document
+/// order: nested objects extend the path with `.`, arrays are skipped
+/// wholesale. This is a deliberately small parser for the harness's own
+/// result files (`bench_gate` diffs them against the committed baseline) —
+/// it addresses named scalars only and keeps duplicate keys as-is.
+///
+/// # Errors
+///
+/// Returns a message with a byte offset on malformed input.
+pub fn flat_json(s: &str) -> Result<Vec<(String, FlatValue)>, String> {
+    let mut p = FlatParser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    let mut out = Vec::new();
+    p.ws();
+    p.object("", &mut out)?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(out)
+}
+
+struct FlatParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl FlatParser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), String> {
+        if self.i < self.b.len() && self.b[self.i] == ch {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", ch as char, self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let esc = *self
+                        .b
+                        .get(self.i)
+                        .ok_or_else(|| "truncated escape".to_string())?;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        b'u' => {
+                            // Keep \uXXXX undecoded; the gate never needs it.
+                            self.i += 4.min(self.b.len() - self.i - 1);
+                            '?'
+                        }
+                        c => c as char,
+                    });
+                    self.i += 1;
+                }
+                c => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn object(&mut self, path: &str, out: &mut Vec<(String, FlatValue)>) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.ws();
+        if self.i < self.b.len() && self.b[self.i] == b'}' {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            let key = if path.is_empty() {
+                key
+            } else {
+                format!("{path}.{key}")
+            };
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            self.value(&key, out)?;
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn value(&mut self, path: &str, out: &mut Vec<(String, FlatValue)>) -> Result<(), String> {
+        match *self.b.get(self.i).ok_or("truncated value")? {
+            b'{' => self.object(path, out),
+            b'[' => self.skip_array(),
+            b'"' => {
+                let s = self.string()?;
+                out.push((path.to_owned(), FlatValue::Str(s)));
+                Ok(())
+            }
+            b't' | b'f' | b'n' => {
+                for (lit, v) in [
+                    ("true", FlatValue::Bool(true)),
+                    ("false", FlatValue::Bool(false)),
+                    ("null", FlatValue::Null),
+                ] {
+                    if self.b[self.i..].starts_with(lit.as_bytes()) {
+                        self.i += lit.len();
+                        out.push((path.to_owned(), v));
+                        return Ok(());
+                    }
+                }
+                Err(format!("bad literal at offset {}", self.i))
+            }
+            _ => {
+                let start = self.i;
+                while self
+                    .b
+                    .get(self.i)
+                    .is_some_and(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    self.i += 1;
+                }
+                let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| format!("bad number '{text}' at offset {start}"))?;
+                out.push((path.to_owned(), FlatValue::Num(n)));
+                Ok(())
+            }
+        }
+    }
+
+    /// Skips one array (contents may be any JSON, including strings that
+    /// contain brackets).
+    fn skip_array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match *self.b.get(self.i).ok_or("unterminated array")? {
+                b'[' => {
+                    depth += 1;
+                    self.i += 1;
+                }
+                b']' => {
+                    depth -= 1;
+                    self.i += 1;
+                }
+                b'"' => {
+                    self.string()?;
+                }
+                _ => self.i += 1,
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Capture window for per-experiment metrics snapshots.
 ///
 /// Experiment functions boot stacks internally and return only matrices, so
@@ -304,6 +508,45 @@ mod tests {
         assert_eq!(out[0].0, "CKI");
         assert_eq!(out[0].1.get("x"), 7, "2 + 5 merged");
         assert_eq!(out[1].1.get("x"), 5);
+    }
+
+    #[test]
+    fn flat_json_flattens_nested_scalars_and_skips_arrays() {
+        let doc = r#"{
+            "scale": "Quick",
+            "n": 42,
+            "ratio": 39.117,
+            "ok": true,
+            "nothing": null,
+            "verdict": {"ticks": 7, "ok": false, "incidents": [{"x": 1}, [2]]},
+            "neg": -3.5e2
+        }"#;
+        let flat = flat_json(doc).unwrap();
+        let get = |k: &str| {
+            flat.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get("scale"), Some(FlatValue::Str("Quick".into())));
+        assert_eq!(get("n"), Some(FlatValue::Num(42.0)));
+        assert_eq!(get("ratio"), Some(FlatValue::Num(39.117)));
+        assert_eq!(get("ok").unwrap().as_num(), Some(1.0));
+        assert_eq!(get("nothing"), Some(FlatValue::Null));
+        assert_eq!(get("verdict.ticks"), Some(FlatValue::Num(7.0)));
+        assert_eq!(get("verdict.ok").unwrap().as_num(), Some(0.0));
+        assert_eq!(get("neg"), Some(FlatValue::Num(-350.0)));
+        assert!(get("verdict.incidents").is_none(), "arrays are skipped");
+        assert!(get("verdict.incidents.x").is_none());
+    }
+
+    #[test]
+    fn flat_json_handles_escapes_and_rejects_garbage() {
+        let flat = flat_json(r#"{"s": "a\"b\n[{", "t": 1}"#).unwrap();
+        assert_eq!(flat[0].1, FlatValue::Str("a\"b\n[{".into()));
+        assert_eq!(flat[1].1, FlatValue::Num(1.0));
+        assert!(flat_json("{").is_err());
+        assert!(flat_json(r#"{"a": }"#).is_err());
+        assert!(flat_json(r#"{"a": 1} trailing"#).is_err());
     }
 
     #[test]

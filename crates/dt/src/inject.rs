@@ -153,17 +153,37 @@ pub fn apply(exec: &mut Executor, inj: Inject) -> Result<(), String> {
 /// KSM's gate token, and `iret` must restore the guest PKRS (extension 4).
 fn mid_gate_irq(exec: &mut Executor) -> Result<(), String> {
     let backend = exec.stack.backend;
-    let Some((idt_pa, tss_pa)) = exec
+    if exec
         .stack
         .kernel
         .platform
         .as_any()
         .downcast_ref::<CkiPlatform>()
+        .is_none()
+    {
+        return apply(exec, Inject::TimerTick);
+    }
+    mid_gate_irq_machine(&mut exec.stack.machine, exec.stack.kernel.platform.as_ref())
+        .map_err(|e| format!("{e} on {}", backend.name()))
+}
+
+/// The machine-level body of [`Inject::MidGateIrq`], decoupled from the
+/// differential-testing [`Executor`] so any harness holding a machine and
+/// a CKI platform — including the cloud control plane, mid-invoke via
+/// `CloudHost::enter` — can land the same interrupt and invariant checks.
+///
+/// Returns `Err` if the platform is not CKI or any gate invariant fails.
+pub fn mid_gate_irq_machine(
+    m: &mut sim_hw::Machine,
+    platform: &dyn guest_os::Platform,
+) -> Result<(), String> {
+    let Some((idt_pa, tss_pa)) = platform
+        .as_any()
+        .downcast_ref::<CkiPlatform>()
         .map(|p| (p.ksm.idt_pa, p.ksm.tss_pa))
     else {
-        return apply(exec, Inject::TimerTick);
+        return Err("mid-gate IRQ: not a CKI platform".to_string());
     };
-    let m = &mut exec.stack.machine;
     let (idtr, tss) = (m.cpu.idtr, m.cpu.tss_base);
     m.cpu.idtr = idt_pa;
     m.cpu.tss_base = tss_pa;
@@ -195,7 +215,7 @@ fn mid_gate_irq(exec: &mut Executor) -> Result<(), String> {
     })();
     m.cpu.idtr = idtr;
     m.cpu.tss_base = tss;
-    r.map_err(|e| format!("{e} on {}", backend.name()))
+    r
 }
 
 #[cfg(test)]

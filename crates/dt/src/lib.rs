@@ -39,7 +39,7 @@ pub mod program;
 pub mod shrink;
 
 pub use exec::{snapshot_kernel, ExecConfig, Executor, PlantedBug, StateSnapshot};
-pub use inject::{Inject, Schedule};
+pub use inject::{mid_gate_irq_machine, Inject, Schedule};
 pub use oracle::{Divergence, DtError, InvariantViolation, Oracle, ALL_BACKENDS};
 pub use program::{Op, Program};
 pub use shrink::{shrink, Shrunk};

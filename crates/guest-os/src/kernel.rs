@@ -55,7 +55,7 @@ pub struct Stats {
     /// forks performed.
     pub forks: u64,
     /// Per-syscall counts (for Figure 14's syscall-frequency series).
-    pub per_syscall: HashMap<&'static str, u64>,
+    pub per_syscall: HashMap<String, u64>,
 }
 
 /// The guest kernel.
@@ -216,7 +216,7 @@ impl Kernel {
                 ("os.ctx_switches", None) => s.ctx_switches = value,
                 ("os.forks", None) => s.forks = value,
                 ("os.syscall", Some(l)) => {
-                    s.per_syscall.insert(l, value);
+                    s.per_syscall.insert(l.to_string(), value);
                 }
                 _ => {}
             }

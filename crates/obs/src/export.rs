@@ -90,7 +90,8 @@ pub fn spans_jsonl(profiler: &SpanProfiler) -> String {
 
 /// Renders a [`MetricsSnapshot`] as one JSON object: counters as a flat
 /// name→value map, histograms as `{count, sum, buckets}` where `buckets`
-/// lists only occupied `[lower_bound, count]` pairs.
+/// lists only occupied `[lower_bound, count]` pairs, and quantile sketches
+/// as `{count, sum, min, max, p50, p90, p99, p999}`.
 pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::from("{\"counters\":{");
     let mut first = true;
@@ -126,6 +127,27 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
             out.push_str(&format!("[{},{n}]", bucket_lo(i)));
         }
         out.push_str("]}");
+    }
+    out.push_str("},\"sketches\":{");
+    let mut first = true;
+    for (k, s) in &snapshot.sketches {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+            json_escape(k),
+            s.count,
+            s.sum,
+            s.min,
+            s.max,
+            s.quantile(0.5),
+            s.quantile(0.9),
+            s.quantile(0.99),
+            s.quantile(0.999)
+        ));
     }
     out.push_str("}}");
     out

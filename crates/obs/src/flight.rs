@@ -1,0 +1,239 @@
+//! The per-container flight recorder.
+//!
+//! A fixed-capacity ring buffer of recent cycle-stamped events — the
+//! "black box" a control plane dumps when an SLO breaches. Contrast with
+//! [`crate::SpanProfiler`]: the profiler aggregates *everything* for
+//! post-hoc reports; the recorder keeps only the last `capacity` events
+//! per container so an incident report shows what that container did
+//! right before the breach, at zero marginal memory cost no matter how
+//! long the host runs.
+//!
+//! Hot-path contract:
+//!
+//! - [`FlightRecorder::record`] is O(1) and allocation-free: the slot
+//!   array is allocated once at construction and events are `Copy`
+//!   (names are `&'static str` from the control plane's event taxonomy).
+//! - When constructed [`FlightRecorder::disabled`], `record` is a single
+//!   branch and the recorder never allocates at all.
+//! - The ring overwrites oldest-first; [`FlightRecorder::overwritten`]
+//!   counts evictions so dumps are explicit about what they lost.
+//!
+//! Dumps ([`FlightRecorder::dump_jsonl`]) are JSONL, oldest event first,
+//! cycle-stamped from the simulated clock — so two identical seeded runs
+//! produce byte-identical incident reports.
+
+/// One recorded event: a name from the control plane's static taxonomy
+/// (e.g. `"start.clone"`, `"invoke"`, `"compact.moved"`), the simulated
+/// cycle count at which it happened, and one payload value (duration,
+/// pages, ...; meaning per name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Simulated cycle count when the event was recorded.
+    pub cycles: u64,
+    /// Event name (static taxonomy).
+    pub name: &'static str,
+    /// Payload (duration in cycles, page count, ... — per name).
+    pub value: u64,
+}
+
+/// Fixed-capacity, overwrite-oldest event ring.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    /// Slot array, allocated once (empty when disabled).
+    buf: Box<[FlightEvent]>,
+    /// Index of the next slot to write.
+    head: usize,
+    /// Live events (≤ capacity).
+    len: usize,
+    /// Events evicted to make room.
+    overwritten: u64,
+}
+
+const EMPTY: FlightEvent = FlightEvent {
+    cycles: 0,
+    name: "",
+    value: 0,
+};
+
+impl FlightRecorder {
+    /// Creates a recorder retaining the last `capacity` events. The slot
+    /// array is allocated here, once; recording never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 (use [`FlightRecorder::disabled`]).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-capacity recorder: use disabled()");
+        Self {
+            buf: vec![EMPTY; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Creates a recorder that records nothing and holds no allocation.
+    pub fn disabled() -> Self {
+        Self {
+            buf: Box::new([]),
+            head: 0,
+            len: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Whether this recorder actually records.
+    pub fn enabled(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Ring capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Records one event, overwriting the oldest when full. O(1), no
+    /// allocation; a no-op on a disabled recorder.
+    #[inline]
+    pub fn record(&mut self, cycles: u64, name: &'static str, value: u64) {
+        if self.buf.is_empty() {
+            return;
+        }
+        self.buf[self.head] = FlightEvent {
+            cycles,
+            name,
+            value,
+        };
+        self.head = (self.head + 1) % self.buf.len();
+        if self.len < self.buf.len() {
+            self.len += 1;
+        } else {
+            self.overwritten += 1;
+        }
+    }
+
+    /// Live events, in recording order.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events evicted by overwrite since construction (or [`Self::clear`]).
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Iterates the live events oldest-first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> + '_ {
+        let start = (self.head + self.buf.len() - self.len) % self.buf.len().max(1);
+        (0..self.len).map(move |i| &self.buf[(start + i) % self.buf.len()])
+    }
+
+    /// Discards all events (keeps the allocation and capacity).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+        self.overwritten = 0;
+    }
+
+    /// Dumps the ring as a JSONL incident report, oldest event first.
+    /// `who` labels every line (e.g. `"c42"`); the first line is a header
+    /// carrying the ring accounting so a reader knows what was lost.
+    pub fn dump_jsonl(&self, who: &str) -> String {
+        let mut out = String::with_capacity(64 * (self.len + 1));
+        out.push_str(&format!(
+            "{{\"flight\":\"{}\",\"events\":{},\"overwritten\":{},\"capacity\":{}}}\n",
+            crate::export::json_escape(who),
+            self.len,
+            self.overwritten,
+            self.capacity()
+        ));
+        for e in self.events() {
+            out.push_str(&format!(
+                "{{\"who\":\"{}\",\"cycles\":{},\"event\":\"{}\",\"value\":{}}}\n",
+                crate::export::json_escape(who),
+                e.cycles,
+                crate::export::json_escape(e.name),
+                e.value
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overwrites_oldest_in_order() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..6u64 {
+            r.record(i * 10, "e", i);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.overwritten(), 2);
+        let vals: Vec<u64> = r.events().map(|e| e.value).collect();
+        assert_eq!(vals, vec![2, 3, 4, 5], "oldest two evicted, order kept");
+        let stamps: Vec<u64> = r.events().map(|e| e.cycles).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn partial_fill_preserves_order() {
+        let mut r = FlightRecorder::new(8);
+        r.record(1, "a", 0);
+        r.record(2, "b", 0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.overwritten(), 0);
+        let names: Vec<&str> = r.events().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut r = FlightRecorder::disabled();
+        assert!(!r.enabled());
+        for i in 0..100 {
+            r.record(i, "e", i);
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.overwritten(), 0);
+        let dump = r.dump_jsonl("c1");
+        assert_eq!(dump.lines().count(), 1, "header only");
+        assert!(dump.contains("\"events\":0"));
+    }
+
+    #[test]
+    fn dump_is_jsonl_with_header() {
+        let mut r = FlightRecorder::new(2);
+        r.record(100, "start.clone", 25_000);
+        r.record(200, "invoke", 30_000);
+        r.record(300, "invoke", 31_000);
+        let dump = r.dump_jsonl("c7");
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            assert!(crate::export::json_balanced(l), "{l}");
+        }
+        assert!(lines[0].contains("\"flight\":\"c7\""));
+        assert!(lines[0].contains("\"overwritten\":1"));
+        assert!(lines[1].contains("\"event\":\"invoke\""));
+        assert!(lines[2].contains("\"value\":31000"));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut r = FlightRecorder::new(3);
+        r.record(1, "e", 1);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 3);
+        r.record(2, "e", 2);
+        assert_eq!(r.events().next().unwrap().value, 2);
+    }
+}

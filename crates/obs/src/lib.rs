@@ -8,9 +8,14 @@
 //!   cycle counts, so a CKI page fault decomposes into
 //!   trap → handler → KSM gate → PTE-verify → iret with exact per-stage
 //!   cycles ([`span`]).
-//! - [`MetricsRegistry`]: named counters and log₂-bucketed histograms with
-//!   optional per-container / per-backend labels, with snapshot/delta
-//!   ([`metrics`]).
+//! - [`MetricsRegistry`]: named counters, log₂-bucketed histograms and
+//!   streaming quantile sketches with optional per-container / per-backend
+//!   labels, with snapshot/delta ([`metrics`]).
+//! - [`QuantileSketch`]: deterministic log-linear p50/p90/p99/p999
+//!   estimation, mergeable across containers ([`quantile`]).
+//! - [`FlightRecorder`]: fixed-capacity per-container ring of recent
+//!   cycle-stamped events, dumpable as a JSONL incident report
+//!   ([`flight`]).
 //! - [`export`]: JSONL event traces, a Chrome-trace (`chrome://tracing`)
 //!   dump, and Prometheus-style text exposition.
 //!
@@ -24,9 +29,15 @@
 //! paths cost one predictable branch when observability is off.
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
+pub mod quantile;
 pub mod rng;
 pub mod span;
 
-pub use metrics::{CounterId, HistId, HistSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use flight::{FlightEvent, FlightRecorder};
+pub use metrics::{
+    CounterId, HistId, HistSnapshot, Label, MetricsRegistry, MetricsSnapshot, SketchId,
+};
+pub use quantile::{QuantileSketch, SketchSnapshot};
 pub use span::{SpanEvent, SpanId, SpanProfiler, SpanStat};

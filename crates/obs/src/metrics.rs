@@ -1,14 +1,24 @@
 //! The unified metrics registry.
 //!
-//! Counters and log₂-bucketed histograms, registered once (a hash lookup)
-//! and updated through dense integer ids (an array index — as cheap as the
-//! scattered `stats` fields this registry replaces). Metric names follow a
-//! `layer.noun[.verb]` convention (`os.syscalls`, `vmm.vm_exits`,
-//! `cki.gate_aborts`); an optional label carries the per-backend /
-//! per-container / per-syscall dimension.
+//! Counters, log₂-bucketed histograms and streaming quantile sketches,
+//! registered once (a hash lookup) and updated through dense integer ids
+//! (an array index — as cheap as the scattered `stats` fields this
+//! registry replaces). Metric names follow a `layer.noun[.verb]`
+//! convention (`os.syscalls`, `vmm.vm_exits`, `cki.gate_aborts`); an
+//! optional label carries the per-backend / per-container / per-syscall
+//! dimension. Labels are `&'static str` for the fixed taxonomy and owned
+//! strings for dynamic dimensions (per-container series — `{c42}` —
+//! registered by the cloud control plane at container start).
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+
+use crate::quantile::{QuantileSketch, SketchSnapshot};
+
+/// A series label: borrowed for the static taxonomy, owned for dynamic
+/// dimensions such as per-container ids.
+pub type Label = Cow<'static, str>;
 
 /// Number of log₂ buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
 /// holds values in `[2^(i-1), 2^i)`; `u64::MAX` lands in bucket 64.
@@ -36,18 +46,28 @@ pub struct CounterId(u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistId(u32);
 
+/// Dense handle for a registered quantile sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchId(u32);
+
 struct Counter {
     name: &'static str,
-    label: Option<&'static str>,
+    label: Option<Label>,
     value: u64,
 }
 
 struct Hist {
     name: &'static str,
-    label: Option<&'static str>,
+    label: Option<Label>,
     buckets: [u64; HIST_BUCKETS],
     count: u64,
     sum: u64,
+}
+
+struct Sketch {
+    name: &'static str,
+    label: Option<Label>,
+    sketch: QuantileSketch,
 }
 
 /// The registry. One lives on the simulated CPU; every layer registers its
@@ -55,9 +75,11 @@ struct Hist {
 #[derive(Default)]
 pub struct MetricsRegistry {
     counters: Vec<Counter>,
-    cindex: HashMap<(&'static str, Option<&'static str>), CounterId>,
+    cindex: HashMap<(&'static str, Option<Label>), CounterId>,
     hists: Vec<Hist>,
-    hindex: HashMap<(&'static str, Option<&'static str>), HistId>,
+    hindex: HashMap<(&'static str, Option<Label>), HistId>,
+    sketches: Vec<Sketch>,
+    sindex: HashMap<(&'static str, Option<Label>), SketchId>,
 }
 
 impl MetricsRegistry {
@@ -78,13 +100,23 @@ impl MetricsRegistry {
         name: &'static str,
         label: Option<&'static str>,
     ) -> CounterId {
-        if let Some(&id) = self.cindex.get(&(name, label)) {
+        self.counter_with(name, label.map(Cow::Borrowed))
+    }
+
+    /// Registers (or finds) a counter with an owned (dynamic) label, e.g.
+    /// the per-container dimension `("cloud.boot_cycles", "c42")`.
+    pub fn counter_owned(&mut self, name: &'static str, label: impl Into<String>) -> CounterId {
+        self.counter_with(name, Some(Cow::Owned(label.into())))
+    }
+
+    fn counter_with(&mut self, name: &'static str, label: Option<Label>) -> CounterId {
+        if let Some(&id) = self.cindex.get(&(name, label.clone())) {
             return id;
         }
         let id = CounterId(self.counters.len() as u32);
         self.counters.push(Counter {
             name,
-            label,
+            label: label.clone(),
             value: 0,
         });
         self.cindex.insert((name, label), id);
@@ -112,16 +144,16 @@ impl MetricsRegistry {
     pub fn value_of(&self, name: &str, label: Option<&str>) -> u64 {
         self.counters
             .iter()
-            .find(|c| c.name == name && c.label == label)
+            .find(|c| c.name == name && c.label.as_deref() == label)
             .map_or(0, |c| c.value)
     }
 
     /// Iterates every counter as `(name, label, value)` in registration
     /// order (cold path — reconstruction of legacy stat views).
-    pub fn iter_counters(
-        &self,
-    ) -> impl Iterator<Item = (&'static str, Option<&'static str>, u64)> + '_ {
-        self.counters.iter().map(|c| (c.name, c.label, c.value))
+    pub fn iter_counters(&self) -> impl Iterator<Item = (&'static str, Option<&str>, u64)> + '_ {
+        self.counters
+            .iter()
+            .map(|c| (c.name, c.label.as_deref(), c.value))
     }
 
     /// Registers (or finds) an unlabeled histogram.
@@ -131,13 +163,22 @@ impl MetricsRegistry {
 
     /// Registers (or finds) a labeled histogram.
     pub fn histogram_labeled(&mut self, name: &'static str, label: Option<&'static str>) -> HistId {
-        if let Some(&id) = self.hindex.get(&(name, label)) {
+        self.histogram_with(name, label.map(Cow::Borrowed))
+    }
+
+    /// Registers (or finds) a histogram with an owned (dynamic) label.
+    pub fn histogram_owned(&mut self, name: &'static str, label: impl Into<String>) -> HistId {
+        self.histogram_with(name, Some(Cow::Owned(label.into())))
+    }
+
+    fn histogram_with(&mut self, name: &'static str, label: Option<Label>) -> HistId {
+        if let Some(&id) = self.hindex.get(&(name, label.clone())) {
             return id;
         }
         let id = HistId(self.hists.len() as u32);
         self.hists.push(Hist {
             name,
-            label,
+            label: label.clone(),
             buckets: [0; HIST_BUCKETS],
             count: 0,
             sum: 0,
@@ -155,16 +196,70 @@ impl MetricsRegistry {
         h.sum = h.sum.saturating_add(value);
     }
 
+    /// Registers (or finds) an unlabeled quantile sketch. The dense bucket
+    /// array is allocated here, once; recording never allocates.
+    pub fn sketch(&mut self, name: &'static str) -> SketchId {
+        self.sketch_with(name, None)
+    }
+
+    /// Registers (or finds) a labeled quantile sketch.
+    pub fn sketch_labeled(&mut self, name: &'static str, label: Option<&'static str>) -> SketchId {
+        self.sketch_with(name, label.map(Cow::Borrowed))
+    }
+
+    fn sketch_with(&mut self, name: &'static str, label: Option<Label>) -> SketchId {
+        if let Some(&id) = self.sindex.get(&(name, label.clone())) {
+            return id;
+        }
+        let id = SketchId(self.sketches.len() as u32);
+        self.sketches.push(Sketch {
+            name,
+            label: label.clone(),
+            sketch: QuantileSketch::new(),
+        });
+        self.sindex.insert((name, label), id);
+        id
+    }
+
+    /// Records one observation into a sketch. O(1), no allocation.
+    #[inline]
+    pub fn record(&mut self, id: SketchId, value: u64) {
+        self.sketches[id.0 as usize].sketch.record(value);
+    }
+
+    /// Quantile estimate from a live sketch (cold path — watchdog ticks).
+    pub fn sketch_quantile(&self, id: SketchId, q: f64) -> u64 {
+        self.sketches[id.0 as usize].sketch.quantile(q)
+    }
+
+    /// Observation count of a live sketch.
+    pub fn sketch_count(&self, id: SketchId) -> u64 {
+        self.sketches[id.0 as usize].sketch.count()
+    }
+
+    /// Borrows a live sketch (cold path).
+    pub fn sketch_ref(&self, id: SketchId) -> &QuantileSketch {
+        &self.sketches[id.0 as usize].sketch
+    }
+
+    /// Looks a sketch id up by name (cold path; `None` if unregistered).
+    pub fn sketch_id_of(&self, name: &str, label: Option<&str>) -> Option<SketchId> {
+        self.sketches
+            .iter()
+            .position(|s| s.name == name && s.label.as_deref() == label)
+            .map(|i| SketchId(i as u32))
+    }
+
     /// Point-in-time copy of every metric, keyed `name` or `name{label}`.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut counters = BTreeMap::new();
         for c in &self.counters {
-            counters.insert(key(c.name, c.label), c.value);
+            counters.insert(key(c.name, c.label.as_deref()), c.value);
         }
         let mut histograms = BTreeMap::new();
         for h in &self.hists {
             histograms.insert(
-                key(h.name, h.label),
+                key(h.name, h.label.as_deref()),
                 HistSnapshot {
                     buckets: h.buckets,
                     count: h.count,
@@ -172,9 +267,17 @@ impl MetricsRegistry {
                 },
             );
         }
+        let mut sketches = BTreeMap::new();
+        for s in &self.sketches {
+            sketches.insert(
+                key(s.name, s.label.as_deref()),
+                SketchSnapshot::of(&s.sketch),
+            );
+        }
         MetricsSnapshot {
             counters,
             histograms,
+            sketches,
         }
     }
 
@@ -188,6 +291,9 @@ impl MetricsRegistry {
             h.count = 0;
             h.sum = 0;
         }
+        for s in &mut self.sketches {
+            s.sketch.reset();
+        }
     }
 
     /// Prometheus-style text exposition of the whole registry.
@@ -195,7 +301,7 @@ impl MetricsRegistry {
     /// series.
     pub fn prometheus(&self, extra_labels: &[(&str, &str)]) -> String {
         let mut out = String::new();
-        let fmt_labels = |label: Option<&'static str>| -> String {
+        let fmt_labels = |label: Option<&str>| -> String {
             let mut parts: Vec<String> = extra_labels
                 .iter()
                 .map(|(k, v)| format!("{k}=\"{v}\""))
@@ -216,7 +322,11 @@ impl MetricsRegistry {
                 out.push_str(&format!("# TYPE {name} counter\n"));
                 last_name = c.name;
             }
-            out.push_str(&format!("{name}{} {}\n", fmt_labels(c.label), c.value));
+            out.push_str(&format!(
+                "{name}{} {}\n",
+                fmt_labels(c.label.as_deref()),
+                c.value
+            ));
         }
         for h in &self.hists {
             let name = metric_name(h.name);
@@ -236,7 +346,7 @@ impl MetricsRegistry {
                     .iter()
                     .map(|(k, v)| format!("{k}=\"{v}\""))
                     .collect();
-                if let Some(l) = h.label {
+                if let Some(l) = h.label.as_deref() {
                     labels.push(format!("label=\"{l}\""));
                 }
                 labels.push(format!("le=\"{le}\""));
@@ -245,11 +355,44 @@ impl MetricsRegistry {
                     labels.join(",")
                 ));
             }
-            out.push_str(&format!("{name}_sum{} {}\n", fmt_labels(h.label), h.sum));
+            out.push_str(&format!(
+                "{name}_sum{} {}\n",
+                fmt_labels(h.label.as_deref()),
+                h.sum
+            ));
             out.push_str(&format!(
                 "{name}_count{} {}\n",
-                fmt_labels(h.label),
+                fmt_labels(h.label.as_deref()),
                 h.count
+            ));
+        }
+        for s in &self.sketches {
+            let name = metric_name(s.name);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, qs) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")] {
+                let mut labels: Vec<String> = extra_labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{v}\""))
+                    .collect();
+                if let Some(l) = s.label.as_deref() {
+                    labels.push(format!("label=\"{l}\""));
+                }
+                labels.push(format!("quantile=\"{qs}\""));
+                out.push_str(&format!(
+                    "{name}{{{}}} {}\n",
+                    labels.join(","),
+                    s.sketch.quantile(q)
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_sum{} {}\n",
+                fmt_labels(s.label.as_deref()),
+                s.sketch.sum()
+            ));
+            out.push_str(&format!(
+                "{name}_count{} {}\n",
+                fmt_labels(s.label.as_deref()),
+                s.sketch.count()
             ));
         }
         out
@@ -275,6 +418,8 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram states, same keying.
     pub histograms: BTreeMap<String, HistSnapshot>,
+    /// Frozen quantile sketches, same keying.
+    pub sketches: BTreeMap<String, SketchSnapshot>,
 }
 
 /// A frozen histogram.
@@ -315,6 +460,16 @@ impl MetricsSnapshot {
                 }
             }
         }
+        for (k, s) in &other.sketches {
+            match out.sketches.get_mut(k) {
+                None => {
+                    out.sketches.insert(k.clone(), s.clone());
+                }
+                Some(mine) => {
+                    *mine = mine.merge(s);
+                }
+            }
+        }
         out
     }
 
@@ -341,9 +496,20 @@ impl MetricsSnapshot {
                 histograms.insert(k.clone(), d);
             }
         }
+        let mut sketches = BTreeMap::new();
+        for (k, s) in &self.sketches {
+            let d = match earlier.sketches.get(k) {
+                Some(e) => s.subtract(e),
+                None => s.clone(),
+            };
+            if d.count > 0 {
+                sketches.insert(k.clone(), d);
+            }
+        }
         MetricsSnapshot {
             counters,
             histograms,
+            sketches,
         }
     }
 }
@@ -438,6 +604,58 @@ mod tests {
         assert!(text.contains("# TYPE os_pgfault_ns histogram"));
         assert!(text.contains("os_pgfault_ns_count{backend=\"cki\"} 1"));
         assert!(text.contains("le=\"1023\""));
+    }
+
+    #[test]
+    fn owned_labels_are_distinct_series() {
+        let mut r = MetricsRegistry::new();
+        let a = r.counter_owned("cloud.invokes", "c1");
+        let b = r.counter_owned("cloud.invokes", "c2");
+        assert_ne!(a, b);
+        assert_eq!(r.counter_owned("cloud.invokes", "c1"), a, "idempotent");
+        r.add(a, 3);
+        r.add(b, 4);
+        assert_eq!(r.value_of("cloud.invokes", Some("c1")), 3);
+        let s = r.snapshot();
+        assert_eq!(s.get("cloud.invokes{c1}"), 3);
+        assert_eq!(s.get("cloud.invokes{c2}"), 4);
+    }
+
+    #[test]
+    fn sketches_snapshot_merge_and_prometheus() {
+        let mut r = MetricsRegistry::new();
+        let s = r.sketch("cloud.invoke_cycles");
+        for v in [100u64, 200, 300, 400, 10_000] {
+            r.record(s, v);
+        }
+        assert_eq!(r.sketch_count(s), 5);
+        let p99 = r.sketch_quantile(s, 0.99);
+        assert!((9_000..=10_000).contains(&p99), "p99 = {p99}");
+        let snap = r.snapshot();
+        let fs = &snap.sketches["cloud.invoke_cycles"];
+        assert_eq!(fs.count, 5);
+        assert_eq!(fs.quantile(0.99), p99);
+        // delta of a later snapshot against an earlier one.
+        r.record(s, 50_000);
+        let d = r.snapshot().delta(&snap);
+        assert_eq!(d.sketches["cloud.invoke_cycles"].count, 1);
+        // merge sums counts.
+        let m = snap.merge(&snap);
+        assert_eq!(m.sketches["cloud.invoke_cycles"].count, 10);
+        let text = r.prometheus(&[]);
+        assert!(text.contains("# TYPE cloud_invoke_cycles summary"));
+        assert!(text.contains("cloud_invoke_cycles{quantile=\"0.99\"}"));
+        assert!(text.contains("cloud_invoke_cycles_count 6"));
+    }
+
+    #[test]
+    fn reset_clears_sketches() {
+        let mut r = MetricsRegistry::new();
+        let s = r.sketch_labeled("x", Some("l"));
+        r.record(s, 7);
+        r.reset();
+        assert_eq!(r.sketch_count(s), 0);
+        assert_eq!(r.sketch_labeled("x", Some("l")), s);
     }
 
     #[test]

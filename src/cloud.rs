@@ -24,14 +24,16 @@
 //!   failing permanently. Compaction is never run implicitly: the §4.3
 //!   failure mode stays observable unless the operator opts in.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use cki_core::CkiPlatform;
 use guest_os::costs::copy_cycles;
 use guest_os::{Env, Kernel, Sys};
+use obs::FlightRecorder;
 use sim_hw::{HwExtensions, Machine, Mode, PcidAllocator, Tag};
 use sim_mem::{Segment, SegmentAllocator, PAGE_SIZE};
 
+use crate::slo::{Incident, SloProbe, SloWatchdog};
 use crate::{Backend, BootError, StackConfig};
 
 /// Identifier of a running container.
@@ -55,6 +57,18 @@ pub const CLONE_ACTIVATE_CYCLES: u64 = 20_000;
 /// (shootdown + allocator bookkeeping), on top of the per-page and
 /// per-PTE charges.
 pub const MIGRATE_FIXED_CYCLES: u64 = 2_000;
+
+/// Simulated cycles charged per flight-recorder event when observability
+/// is enabled (a stamped store into a pre-allocated ring).
+pub const FLIGHT_RECORD_CYCLES: u64 = 3;
+
+/// Simulated cycles charged per SLO-watchdog evaluation (reading a
+/// handful of sketch quantiles and gauges).
+pub const WATCHDOG_TICK_CYCLES: u64 = 400;
+
+/// Retired containers whose flight recorders are kept for post-mortem
+/// dumps (an incident can implicate a container that already stopped).
+const RETIRED_FLIGHTS: usize = 8;
 
 /// Errors from host operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +151,12 @@ pub struct Container {
     pub seg: Segment,
     /// The container's TLB tag (recycled on stop).
     pub pcid: u16,
+    /// Black box of this container's recent events (disabled unless the
+    /// host enabled observability before the start).
+    pub flight: FlightRecorder,
+    /// Per-container invoke counter (registered when observability is on,
+    /// so the series can name this container in incident queries).
+    invokes: Option<obs::CounterId>,
 }
 
 /// What one [`CloudHost::compact`] pass did.
@@ -161,8 +181,14 @@ struct CloudIds {
     compactions: obs::CounterId,
     pages_migrated: obs::CounterId,
     frag_failures: obs::CounterId,
+    stall_recoveries: obs::CounterId,
     boot_cycles: obs::HistId,
     clone_cycles: obs::HistId,
+    boot_sketch: obs::SketchId,
+    clone_sketch: obs::SketchId,
+    invoke_sketch: obs::SketchId,
+    compact_sketch: obs::SketchId,
+    stall_sketch: obs::SketchId,
 }
 
 /// A host machine running CKI secure containers.
@@ -180,6 +206,21 @@ pub struct CloudHost {
     pub started: u64,
     /// Containers stopped.
     pub stopped: u64,
+    /// Flight-ring capacity for new containers (0 = observability off).
+    flight_capacity: usize,
+    /// The SLO watchdog, when observability is on.
+    watchdog: Option<SloWatchdog>,
+    /// Worst observation per sketch in the current watchdog window, with
+    /// the container it came from — how incidents name an offender.
+    worst: HashMap<&'static str, (u64, ContainerId)>,
+    /// Flight recorders of recently stopped containers (bounded).
+    retired_flights: VecDeque<(ContainerId, FlightRecorder)>,
+    /// Cycle stamp of the first start failure of the current
+    /// fragmentation-stall episode (cleared by the next successful start).
+    stall_begin: Option<u64>,
+    /// Flight events recorded over the host's lifetime (the obs-overhead
+    /// accounting benches report against total cycles).
+    flight_records: u64,
 }
 
 impl CloudHost {
@@ -225,8 +266,14 @@ impl CloudHost {
             compactions: m.counter("cloud.compactions"),
             pages_migrated: m.counter("cloud.pages_migrated"),
             frag_failures: m.counter("cloud.frag_failures"),
+            stall_recoveries: m.counter("cloud.stall_recoveries"),
             boot_cycles: m.histogram_labeled("cloud.start_cycles", Some("boot")),
             clone_cycles: m.histogram_labeled("cloud.start_cycles", Some("clone")),
+            boot_sketch: m.sketch("cloud.boot_cycles"),
+            clone_sketch: m.sketch("cloud.clone_cycles"),
+            invoke_sketch: m.sketch("cloud.invoke_cycles"),
+            compact_sketch: m.sketch("cloud.compact_cycles"),
+            stall_sketch: m.sketch("cloud.stall_recovery_cycles"),
         };
         Ok(Self {
             machine,
@@ -238,7 +285,52 @@ impl CloudHost {
             ids,
             started: 0,
             stopped: 0,
+            flight_capacity: 0,
+            watchdog: None,
+            worst: HashMap::new(),
+            retired_flights: VecDeque::new(),
+            stall_begin: None,
+            flight_records: 0,
         })
+    }
+
+    /// Turns production observability on: every container started from
+    /// now on carries a flight recorder of `flight_capacity` events, and
+    /// `watchdog` is evaluated on its deterministic tick at operation
+    /// boundaries. Flight records and watchdog evaluations are charged to
+    /// the simulated clock ([`FLIGHT_RECORD_CYCLES`],
+    /// [`WATCHDOG_TICK_CYCLES`]), so enabling this costs visible — and
+    /// bounded — simulated time.
+    pub fn enable_observability(&mut self, flight_capacity: usize, watchdog: SloWatchdog) {
+        self.flight_capacity = flight_capacity;
+        self.watchdog = Some(watchdog);
+    }
+
+    /// Whether flight recording is on.
+    pub fn observability_enabled(&self) -> bool {
+        self.flight_capacity > 0
+    }
+
+    /// The watchdog, if observability is on.
+    pub fn watchdog(&self) -> Option<&SloWatchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// Incidents the watchdog has emitted so far (empty if off).
+    pub fn incidents(&self) -> &[Incident] {
+        self.watchdog.as_ref().map_or(&[], |w| w.incidents())
+    }
+
+    /// Flight events recorded over the host's lifetime.
+    pub fn flight_records(&self) -> u64 {
+        self.flight_records
+    }
+
+    /// The simulated cycles observability has charged so far — what the
+    /// <5% overhead budget in `cloud_churn` is measured against.
+    pub fn obs_overhead_cycles(&self) -> u64 {
+        let ticks = self.watchdog.as_ref().map_or(0, |w| w.ticks());
+        self.flight_records * FLIGHT_RECORD_CYCLES + ticks * WATCHDOG_TICK_CYCLES
     }
 
     /// Starts a secure container with a `seg_bytes` delegated segment
@@ -249,15 +341,100 @@ impl CloudHost {
 
     /// Starts a container per `spec` — cold boot or snapshot clone.
     pub fn start(&mut self, spec: StartSpec) -> Result<ContainerId, HostError> {
-        let id = if spec.clone_from_template {
-            self.ensure_template(&spec)?;
-            self.start_clone(&spec)?
+        let result = if spec.clone_from_template {
+            self.ensure_template(&spec)
+                .and_then(|()| self.start_clone(&spec))
         } else {
-            self.start_cold(&spec)?
+            self.start_cold(&spec)
         };
-        self.machine.cpu.metrics.inc(self.ids.starts);
-        self.started += 1;
-        Ok(id)
+        match result {
+            Ok(id) => {
+                self.machine.cpu.metrics.inc(self.ids.starts);
+                self.started += 1;
+                self.note_stall_recovered(id);
+                self.tick_watchdog();
+                Ok(id)
+            }
+            Err(e) => {
+                // The watchdog still gets its tick: capacity gauges
+                // (PCIDs, pool fragmentation) are exactly what a failed
+                // start implicates.
+                self.tick_watchdog();
+                Err(e)
+            }
+        }
+    }
+
+    /// Creates the flight recorder for a new container.
+    fn new_flight(&self) -> FlightRecorder {
+        if self.flight_capacity > 0 {
+            FlightRecorder::new(self.flight_capacity)
+        } else {
+            FlightRecorder::disabled()
+        }
+    }
+
+    /// Records one cycle-stamped event on a container's flight ring,
+    /// charging [`FLIGHT_RECORD_CYCLES`]. No-op while observability is off.
+    fn flight_note(&mut self, id: ContainerId, name: &'static str, value: u64) {
+        if self.flight_capacity == 0 {
+            return;
+        }
+        let now = self.machine.cpu.clock.cycles();
+        if let Some(c) = self.containers.get_mut(&id) {
+            c.flight.record(now, name, value);
+            self.flight_records += 1;
+            self.machine
+                .cpu
+                .clock
+                .charge(Tag::Handler, FLIGHT_RECORD_CYCLES);
+        }
+    }
+
+    /// Tracks the worst observation per sketch in the current watchdog
+    /// window, with the container responsible — incident attribution.
+    fn note_worst(&mut self, sketch: &'static str, value: u64, id: ContainerId) {
+        if self.watchdog.is_none() {
+            return;
+        }
+        let e = self.worst.entry(sketch).or_insert((value, id));
+        if value >= e.0 {
+            *e = (value, id);
+        }
+    }
+
+    /// Closes a fragmentation-stall episode: the first successful start
+    /// after a [`HostError::OutOfContiguousMemory`] failure is the
+    /// recovery point, and its elapsed cycles are the stall's cost.
+    fn note_stall_recovered(&mut self, id: ContainerId) {
+        let Some(t0) = self.stall_begin.take() else {
+            return;
+        };
+        let recovery = self.machine.cpu.clock.cycles() - t0;
+        self.machine.cpu.metrics.inc(self.ids.stall_recoveries);
+        self.machine
+            .cpu
+            .metrics
+            .record(self.ids.stall_sketch, recovery);
+        self.note_worst("cloud.stall_recovery_cycles", recovery, id);
+        self.flight_note(id, "stall.recovered", recovery);
+    }
+
+    /// Runs the watchdog if its tick is due, then resets the per-window
+    /// worst tracking and charges the evaluation's cycles.
+    fn tick_watchdog(&mut self) {
+        let Some(mut wd) = self.watchdog.take() else {
+            return;
+        };
+        let now = self.machine.cpu.clock.cycles();
+        if wd.due(now) && wd.tick(now, &*self) {
+            self.worst.clear();
+            self.machine
+                .cpu
+                .clock
+                .charge(Tag::Handler, WATCHDOG_TICK_CYCLES);
+        }
+        self.watchdog = Some(wd);
     }
 
     /// Boots the template snapshot for `spec`'s configuration if it does
@@ -295,6 +472,11 @@ impl CloudHost {
     fn alloc_resources(&mut self, seg_bytes: u64) -> Result<(Segment, u16), HostError> {
         let seg = self.segments.alloc(seg_bytes).ok_or_else(|| {
             self.machine.cpu.metrics.inc(self.ids.frag_failures);
+            // Open a stall episode: the next successful start closes it
+            // and reports the recovery time to the SLO watchdog.
+            if self.stall_begin.is_none() {
+                self.stall_begin = Some(self.machine.cpu.clock.cycles());
+            }
             HostError::OutOfContiguousMemory
         })?;
         let Some(pcid) = self.pcids.alloc() else {
@@ -328,6 +510,8 @@ impl CloudHost {
 
         let id = self.next_id;
         self.next_id += 1;
+        let flight = self.new_flight();
+        let invokes = self.register_container_series(id);
         self.containers.insert(
             id,
             Container {
@@ -335,6 +519,8 @@ impl CloudHost {
                 kernel,
                 seg,
                 pcid,
+                flight,
+                invokes,
             },
         );
         self.warmup(id, spec.warmup_pages)?;
@@ -346,7 +532,44 @@ impl CloudHost {
             .cpu
             .metrics
             .observe(self.ids.boot_cycles, cycles);
+        self.machine
+            .cpu
+            .metrics
+            .record(self.ids.boot_sketch, cycles);
+        self.label_start_cycles(id, "boot", cycles);
+        self.note_worst("cloud.boot_cycles", cycles, id);
+        self.flight_note(id, "start.boot", cycles);
         Ok(id)
+    }
+
+    /// Registers the per-container metric series for a new container
+    /// (observability on only): the invoke counter whose id is cached on
+    /// the [`Container`], so hot-path bumps stay an array index.
+    fn register_container_series(&mut self, id: ContainerId) -> Option<obs::CounterId> {
+        if self.flight_capacity == 0 {
+            return None;
+        }
+        Some(
+            self.machine
+                .cpu
+                .metrics
+                .counter_owned("cloud.invokes_per_container", format!("c{id}")),
+        )
+    }
+
+    /// Attributes a start's cycle cost to its container as an owned-label
+    /// series (`cloud.start_cycles_per_container{c7:boot}`) so incident
+    /// queries can rank containers by the cost they induced.
+    fn label_start_cycles(&mut self, id: ContainerId, how: &str, cycles: u64) {
+        if self.flight_capacity == 0 {
+            return;
+        }
+        let ctr = self
+            .machine
+            .cpu
+            .metrics
+            .counter_owned("cloud.start_cycles_per_container", format!("c{id}:{how}"));
+        self.machine.cpu.metrics.add(ctr, cycles);
     }
 
     /// Snapshot clone: construct the container's monitor state, restore
@@ -389,6 +612,8 @@ impl CloudHost {
 
         let id = self.next_id;
         self.next_id += 1;
+        let flight = self.new_flight();
+        let invokes = self.register_container_series(id);
         self.containers.insert(
             id,
             Container {
@@ -396,6 +621,8 @@ impl CloudHost {
                 kernel,
                 seg,
                 pcid,
+                flight,
+                invokes,
             },
         );
 
@@ -410,6 +637,13 @@ impl CloudHost {
             .cpu
             .metrics
             .observe(self.ids.clone_cycles, cycles);
+        self.machine
+            .cpu
+            .metrics
+            .record(self.ids.clone_sketch, cycles);
+        self.label_start_cycles(id, "clone", cycles);
+        self.note_worst("cloud.clone_cycles", cycles, id);
+        self.flight_note(id, "start.clone", cycles);
         Ok(id)
     }
 
@@ -431,7 +665,7 @@ impl CloudHost {
         if pages == 0 {
             return Ok(());
         }
-        self.enter(id, |env| {
+        self.enter_inner(id, |env| {
             env.sys(Sys::Execve).expect("warmup execve");
             let len = pages * PAGE_SIZE;
             let base = env.mmap(len).expect("warmup mmap");
@@ -453,6 +687,15 @@ impl CloudHost {
         self.pcids.release(c.pcid);
         self.segments.free(c.seg);
         self.stopped += 1;
+        // Keep the black box of recently stopped containers: a breach can
+        // implicate a container that is already gone.
+        if c.flight.enabled() {
+            self.retired_flights.push_back((id, c.flight));
+            while self.retired_flights.len() > RETIRED_FLIGHTS {
+                self.retired_flights.pop_front();
+            }
+        }
+        self.tick_watchdog();
         Ok(())
     }
 
@@ -470,6 +713,7 @@ impl CloudHost {
         // old segment start address.
         let mut owners: Vec<SegmentOwner> = Vec::new();
         let mut segs: Vec<Segment> = Vec::new();
+        let mut migrated: Vec<(ContainerId, u64)> = Vec::new();
         for (&id, c) in &self.containers {
             owners.push((Some(id), (0, 0, 0)));
             segs.push(c.seg);
@@ -522,6 +766,9 @@ impl CloudHost {
             report.moved += 1;
             report.pages_migrated += resident;
             report.pte_rewrites += rewrites;
+            if let (Some(id), _) = owner {
+                migrated.push((*id, resident));
+            }
         }
         report.cycles = self.machine.cpu.clock.since(mark);
         self.machine.cpu.span_exit(sp);
@@ -530,11 +777,53 @@ impl CloudHost {
             .cpu
             .metrics
             .add(self.ids.pages_migrated, report.pages_migrated);
+        self.machine
+            .cpu
+            .metrics
+            .record(self.ids.compact_sketch, report.cycles);
+        if self.flight_capacity > 0 {
+            for (id, resident) in migrated {
+                let ctr = self
+                    .machine
+                    .cpu
+                    .metrics
+                    .counter_owned("cloud.pages_migrated_per_container", format!("c{id}"));
+                self.machine.cpu.metrics.add(ctr, resident);
+                self.flight_note(id, "compact.moved", resident);
+            }
+        }
+        self.tick_watchdog();
         report
     }
 
-    /// Runs `f` inside container `id` (switching the CPU to it first).
+    /// Runs `f` inside container `id` (switching the CPU to it first),
+    /// recording the invocation's cycle cost into the invoke sketch, the
+    /// container's flight ring, and its per-container invoke series.
     pub fn enter<R>(
+        &mut self,
+        id: ContainerId,
+        f: impl FnOnce(&mut Env<'_>) -> R,
+    ) -> Result<R, HostError> {
+        let mark = self.machine.cpu.clock.mark();
+        let r = self.enter_inner(id, f)?;
+        let cycles = self.machine.cpu.clock.since(mark);
+        self.machine
+            .cpu
+            .metrics
+            .record(self.ids.invoke_sketch, cycles);
+        if let Some(ctr) = self.containers.get(&id).and_then(|c| c.invokes) {
+            self.machine.cpu.metrics.inc(ctr);
+        }
+        self.note_worst("cloud.invoke_cycles", cycles, id);
+        self.flight_note(id, "invoke", cycles);
+        self.tick_watchdog();
+        Ok(r)
+    }
+
+    /// The raw container switch + run, with no invoke accounting — the
+    /// warmup path, so template warmups don't pollute the invoke sketch
+    /// the SLO rules are defined against.
+    fn enter_inner<R>(
         &mut self,
         id: ContainerId,
         f: impl FnOnce(&mut Env<'_>) -> R,
@@ -552,6 +841,19 @@ impl CloudHost {
         self.machine.cpu.mode = Mode::User;
         let mut env = Env::new(&mut c.kernel, &mut self.machine);
         Ok(f(&mut env))
+    }
+
+    /// Flight dump for a live, templated, or recently stopped container.
+    pub fn flight_dump(&self, id: ContainerId) -> Option<String> {
+        let who = format!("c{id}");
+        if let Some(c) = self.containers.get(&id) {
+            return Some(c.flight.dump_jsonl(&who));
+        }
+        self.retired_flights
+            .iter()
+            .rev()
+            .find(|(rid, _)| *rid == id)
+            .map(|(_, f)| f.dump_jsonl(&who))
     }
 
     /// Number of running containers (templates not included).
@@ -582,6 +884,38 @@ impl CloudHost {
     /// PCIDs currently assigned (containers + templates).
     pub fn pcids_in_use(&self) -> usize {
         self.pcids.in_use()
+    }
+}
+
+impl SloProbe for CloudHost {
+    fn quantile(&self, sketch: &'static str, q: f64) -> Option<u64> {
+        let m = &self.machine.cpu.metrics;
+        let id = m.sketch_id_of(sketch, None)?;
+        Some(m.sketch_quantile(id, q))
+    }
+
+    fn samples(&self, sketch: &'static str) -> u64 {
+        let m = &self.machine.cpu.metrics;
+        m.sketch_id_of(sketch, None)
+            .map_or(0, |id| m.sketch_count(id))
+    }
+
+    fn gauge(&self, gauge: &'static str) -> Option<u64> {
+        match gauge {
+            "cloud.pcid_free" => Some(self.pcids.available() as u64),
+            "cloud.free_bytes" => Some(self.free_bytes()),
+            "cloud.largest_startable" => Some(self.largest_startable()),
+            "cloud.running" => Some(self.running() as u64),
+            _ => None,
+        }
+    }
+
+    fn worst(&self, sketch: &'static str) -> Option<(u64, u32)> {
+        self.worst.get(sketch).copied()
+    }
+
+    fn flight_dump(&self, container: u32) -> Option<String> {
+        CloudHost::flight_dump(self, container)
     }
 }
 
@@ -740,6 +1074,66 @@ mod tests {
             let pid = h.enter(id, |env| env.sys(Sys::Getpid).unwrap()).unwrap();
             assert_eq!(pid, 1);
         }
+    }
+
+    #[test]
+    fn observability_records_flight_and_sketches() {
+        let mut h = host();
+        h.enable_observability(64, crate::slo::SloWatchdog::cloud_default(100_000));
+        let spec = StartSpec::new(64 * MIB);
+        let id = h.start(spec).unwrap();
+        for _ in 0..3 {
+            h.enter(id, |env| env.sys(Sys::Getpid).unwrap()).unwrap();
+        }
+        let dump = h.flight_dump(id).expect("flight dump");
+        assert!(dump.contains("\"event\":\"start.boot\""));
+        assert_eq!(dump.matches("\"event\":\"invoke\"").count(), 3);
+        let m = &h.machine.cpu.metrics;
+        let sk = m.sketch_id_of("cloud.invoke_cycles", None).unwrap();
+        assert_eq!(m.sketch_count(sk), 3, "warmup not counted as invoke");
+        assert_eq!(
+            m.value_of("cloud.invokes_per_container", Some(&format!("c{id}"))),
+            3
+        );
+        assert!(h.flight_records() >= 4);
+        assert!(h.obs_overhead_cycles() > 0);
+        // Retired containers keep their black box.
+        h.stop_container(id).unwrap();
+        assert!(h.flight_dump(id).is_some());
+    }
+
+    #[test]
+    fn observability_off_is_chargeless_and_flightless() {
+        let mut h = host();
+        let id = h.start_container(64 * MIB).unwrap();
+        h.enter(id, |env| env.sys(Sys::Getpid).unwrap()).unwrap();
+        assert_eq!(h.flight_records(), 0);
+        assert_eq!(h.obs_overhead_cycles(), 0);
+        assert!(!h.containers[&id].flight.enabled());
+        assert!(h.incidents().is_empty());
+    }
+
+    #[test]
+    fn watchdog_fires_on_pcid_exhaustion() {
+        use crate::slo::{RuleKind, SloRule, SloWatchdog};
+        let mut h = host();
+        // Tiny tick so the breach is observed at the next op boundary.
+        h.enable_observability(
+            16,
+            SloWatchdog::new(1).with_rule(SloRule {
+                name: "pcid_free",
+                kind: RuleKind::GaugeAtLeast {
+                    gauge: "cloud.pcid_free",
+                    min: 4092, // the whole pool: any live container breaches
+                },
+            }),
+        );
+        let id = h.start_container(64 * MIB).unwrap();
+        h.enter(id, |env| env.sys(Sys::Getpid).unwrap()).unwrap();
+        let incidents = h.incidents();
+        assert!(!incidents.is_empty(), "gauge rule should have fired");
+        assert_eq!(incidents[0].rule, "pcid_free");
+        assert!(incidents[0].observed < 4092);
     }
 
     #[test]

@@ -36,16 +36,18 @@
 //!   backend so workloads and benchmarks can treat them uniformly.
 
 pub mod cloud;
+pub mod slo;
 
 pub use cki_core;
 pub use cloud::{
     CloudHost, CompactionReport, Container, ContainerId, HostError, StartSpec,
-    CLONE_ACTIVATE_CYCLES, MIGRATE_FIXED_CYCLES,
+    CLONE_ACTIVATE_CYCLES, FLIGHT_RECORD_CYCLES, MIGRATE_FIXED_CYCLES, WATCHDOG_TICK_CYCLES,
 };
 pub use guest_os;
 pub use obs;
 pub use sim_hw;
 pub use sim_mem;
+pub use slo::{Budget, Incident, RuleKind, SloProbe, SloRule, SloWatchdog};
 pub use vmm;
 
 use cki_core::{CkiConfig, CkiPlatform};

@@ -1,0 +1,175 @@
+//! SLO-watchdog integration: injected faults from `dt` driven through the
+//! cloud control plane must surface as structured incidents carrying the
+//! offending container's flight-recorder dump — and identical seeded runs
+//! must produce byte-identical incident artifacts.
+
+use cki::slo::{Budget, RuleKind, SloRule, SloWatchdog};
+use cki::{CloudHost, StartSpec};
+use guest_os::Sys;
+
+const MIB: u64 = 1024 * 1024;
+
+fn host() -> CloudHost {
+    CloudHost::new(4096 * MIB, 512 * MIB)
+}
+
+/// Baseline cycles of one warm getpid invoke, measured on a pristine host
+/// so the budget in the injection tests is derived, not guessed.
+fn normal_invoke_cycles() -> u64 {
+    let mut h = host();
+    let id = h.start_container(64 * MIB).unwrap();
+    h.enter(id, |env| env.sys(Sys::Getpid).unwrap()).unwrap();
+    let mark = h.machine.cpu.clock.mark();
+    h.enter(id, |env| env.sys(Sys::Getpid).unwrap()).unwrap();
+    h.machine.cpu.clock.since(mark)
+}
+
+#[test]
+fn mid_gate_irq_storm_breaches_invoke_budget_with_flight_dump() {
+    let normal = normal_invoke_cycles();
+    let mut h = host();
+    h.enable_observability(
+        64,
+        SloWatchdog::new(1).with_rule(SloRule {
+            name: "invoke_worst",
+            kind: RuleKind::MaxUnder {
+                sketch: "cloud.invoke_cycles",
+                budget: Budget::Cycles(normal * 3),
+            },
+        }),
+    );
+    let calm = h.start_container(64 * MIB).unwrap();
+    let noisy = h.start_container(64 * MIB).unwrap();
+
+    // Healthy traffic stays inside the budget: no incidents.
+    for _ in 0..4 {
+        h.enter(calm, |env| env.sys(Sys::Getpid).unwrap()).unwrap();
+    }
+    assert!(
+        h.incidents().is_empty(),
+        "healthy invokes must not breach: {:?}",
+        h.incidents()
+    );
+
+    // A dt-injected interrupt storm lands mid-invoke on `noisy`: every
+    // IRQ runs the full KSM-gate delivery + iret path, so the invoke's
+    // cycle cost blows far past 3x the warm baseline.
+    h.enter(noisy, |env| {
+        env.sys(Sys::Getpid).unwrap();
+        for _ in 0..500 {
+            dt::mid_gate_irq_machine(env.machine, env.kernel.platform.as_ref())
+                .expect("mid-gate IRQ invariants hold");
+        }
+    })
+    .unwrap();
+
+    let incidents = h.incidents();
+    assert_eq!(incidents.len(), 1, "exactly one breach: {incidents:?}");
+    let i = &incidents[0];
+    assert_eq!(i.rule, "invoke_worst");
+    assert!(i.observed > i.budget);
+    assert_eq!(
+        i.container,
+        Some(noisy),
+        "offender is the stormed container"
+    );
+    let dump = i
+        .flight_dump
+        .as_ref()
+        .expect("incident bundles flight dump");
+    assert!(dump.contains(&format!("\"flight\":\"c{noisy}\"")));
+    assert!(dump.contains("\"event\":\"invoke\""));
+    assert!(!dump.contains(&format!("\"flight\":\"c{calm}\"")));
+}
+
+#[test]
+fn forced_fragmentation_stall_emits_recovery_incident() {
+    let mut h = host();
+    h.enable_observability(
+        64,
+        SloWatchdog::new(1).with_rule(SloRule {
+            name: "frag_stall_recovery",
+            kind: RuleKind::MaxUnder {
+                sketch: "cloud.stall_recovery_cycles",
+                // Any measurable stall breaches: recovery requires an
+                // explicit compaction pass, which costs real cycles.
+                budget: Budget::Cycles(1),
+            },
+        }),
+    );
+    // Force §4.3 fragmentation: fill the pool, then free every other
+    // container so no extent fits a large start.
+    let small = 128 * MIB;
+    let mut ids = Vec::new();
+    while h.free_bytes() >= small {
+        match h.start_container(small) {
+            Ok(id) => ids.push(id),
+            Err(_) => break,
+        }
+    }
+    for &id in ids.iter().step_by(2) {
+        h.stop_container(id).unwrap();
+    }
+    let big = h.largest_startable() + small;
+    assert!(h.start(StartSpec::new(big)).is_err(), "stall opens here");
+    assert!(
+        h.incidents().is_empty(),
+        "no incident until the stall resolves"
+    );
+    h.compact();
+    let recovered = h.start(StartSpec::new(big)).unwrap();
+
+    let incidents = h.incidents();
+    assert!(
+        incidents.iter().any(|i| i.rule == "frag_stall_recovery"),
+        "stall recovery must be reported: {incidents:?}"
+    );
+    let i = incidents
+        .iter()
+        .find(|i| i.rule == "frag_stall_recovery")
+        .unwrap();
+    assert_eq!(i.container, Some(recovered));
+    assert!(i.observed > i.budget);
+    let dump = i.flight_dump.as_ref().expect("flight dump bundled");
+    assert!(dump.contains("\"event\":\"stall.recovered\""));
+}
+
+/// One deterministic mixed-churn run; returns (flight dump of the last
+/// live container, watchdog verdict JSON).
+fn seeded_run() -> (String, String) {
+    let mut h = host();
+    h.enable_observability(32, SloWatchdog::cloud_default(50_000));
+    let mut rng = obs::rng::SmallRng::seed_from_u64(0xC10D);
+    let mut live: Vec<u32> = Vec::new();
+    for round in 0..12 {
+        let spec = StartSpec::new(64 * MIB).with_warmup_pages(8);
+        let spec = if round % 3 == 0 { spec } else { spec.cloned() };
+        if let Ok(id) = h.start(spec) {
+            live.push(id);
+        }
+        let pick = live[rng.gen_range(0..live.len() as u64) as usize];
+        h.enter(pick, |env| {
+            env.sys(Sys::Getpid).unwrap();
+        })
+        .unwrap();
+        if live.len() > 3 {
+            let victim = live.remove(0);
+            h.stop_container(victim).unwrap();
+        }
+    }
+    let last = *live.last().unwrap();
+    (
+        h.flight_dump(last).unwrap(),
+        h.watchdog().unwrap().verdict_json(),
+    )
+}
+
+#[test]
+fn incident_artifacts_are_deterministic_across_identical_runs() {
+    let (dump_a, verdict_a) = seeded_run();
+    let (dump_b, verdict_b) = seeded_run();
+    assert_eq!(dump_a, dump_b, "flight dumps must be byte-identical");
+    assert_eq!(verdict_a, verdict_b, "verdicts must be byte-identical");
+    assert!(dump_a.lines().count() > 1, "dump holds real events");
+    assert!(obs::export::json_balanced(&verdict_a));
+}
