@@ -1,7 +1,7 @@
 //! `bench_gate`: the bench-regression gate.
 //!
 //! Compares the machine-readable benchmark outputs (`cloud_churn`,
-//! `slo_report`, `perf_report`) against the committed baseline
+//! `slo_report`, `perf_report`, `net_serving`) against the committed baseline
 //! `results/BENCH_baseline.json`, failing if any numeric field drifts by
 //! more than ±10% (with a small absolute slack so `0 vs 0`-style counters
 //! compare cleanly). Schema drift — a field appearing or disappearing — is
@@ -27,6 +27,7 @@ const SECTIONS: &[(&str, &str)] = &[
     ("cloud_churn", "results/BENCH_cloud_churn.json"),
     ("slo_report", "results/BENCH_slo_report.json"),
     ("perf_report", "results/perf_report.json"),
+    ("net_serving", "results/BENCH_net_serving.json"),
 ];
 const BASELINE: &str = "results/BENCH_baseline.json";
 const TOLERANCE: f64 = 0.10;

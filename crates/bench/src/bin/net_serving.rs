@@ -1,0 +1,286 @@
+//! Cross-container serving throughput across backends (§7 serving).
+//!
+//! Three phases, all over the netsim dataplane:
+//!
+//! 1. **Backend comparison** — the closed-loop serving cluster
+//!    ([`workloads::serving`]) at equal offered load on CKI, PVM, HVM
+//!    bare-metal, and nested HVM, with uncoalesced doorbells
+//!    (`kick_batch = 1`) so each backend pays its raw notification cost.
+//!    Asserts the paper's ordering (CKI ≥ PVM > HVM > nested HVM), that
+//!    HVM pays at least one VM exit per kick, and that CKI pays none.
+//! 2. **Mitigation sweep** — the same HVM cluster at kick batch 1/4/16:
+//!    NAPI-style coalescing must strictly reduce doorbell exits per
+//!    request.
+//! 3. **Cloud serving SLO** — two containers on a [`cki::CloudHost`]
+//!    serve requests through the host switch while a `serving_p99`
+//!    watchdog rule with a deliberately tight budget runs; the breach
+//!    must produce an incident with a flight-recorder dump.
+//!
+//! Emits `results/BENCH_net_serving.json` (gated by `bench_gate`).
+//!
+//! ```sh
+//! CKI_BENCH_SCALE=quick cargo run --release --bin net_serving
+//! ```
+
+use std::fmt::Write as _;
+
+use cki::{CloudHost, NetConfig, SloWatchdog, StartSpec};
+use cki_bench::Scale;
+use guest_os::{Fd, Sys};
+use sim_mem::PAGE_SIZE;
+use workloads::serving::{self, ServingConfig, ServingReport};
+
+const MIB: u64 = 1024 * 1024;
+
+fn serve(backend: cki::Backend, clients: usize, requests: u64, kick_batch: u32) -> ServingReport {
+    let mut cfg = ServingConfig {
+        backend,
+        clients,
+        requests_per_client: requests,
+        ..ServingConfig::default()
+    };
+    cfg.coalesce.kick_batch = kick_batch;
+    serving::run(&cfg)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (clients, requests, cloud_requests) = match scale {
+        Scale::Quick => (4, 16, 24u64),
+        Scale::Full => (8, 128, 64u64),
+    };
+
+    // Phase 1 — backend comparison at equal offered load, uncoalesced.
+    let cki = serve(cki::Backend::Cki, clients, requests, 1);
+    let pvm = serve(cki::Backend::Pvm, clients, requests, 1);
+    let hvm = serve(cki::Backend::HvmBm, clients, requests, 1);
+    let nested = serve(cki::Backend::HvmNested, clients, requests, 1);
+
+    println!("== Serving comparison ({clients} clients x {requests} requests, kick_batch=1)");
+    for r in [&cki, &pvm, &hvm, &nested] {
+        println!(
+            "{:<10} {:>12.0} req/s  p50 {:>7} p99 {:>7} cycles  kicks {:>4} exits {:>4} \
+             hypercalls {:>4}",
+            r.backend,
+            r.throughput_rps,
+            r.p50_cycles,
+            r.p99_cycles,
+            r.nics.kicks,
+            r.nics.kick_exits,
+            r.nics.kick_hypercalls
+        );
+    }
+    assert!(
+        cki.throughput_rps >= pvm.throughput_rps,
+        "CKI must serve at least as fast as PVM ({} vs {})",
+        cki.throughput_rps,
+        pvm.throughput_rps
+    );
+    assert!(
+        pvm.throughput_rps > hvm.throughput_rps,
+        "PVM must outserve trap-based HVM ({} vs {})",
+        pvm.throughput_rps,
+        hvm.throughput_rps
+    );
+    assert!(
+        hvm.throughput_rps > nested.throughput_rps,
+        "bare-metal HVM must outserve nested HVM ({} vs {})",
+        hvm.throughput_rps,
+        nested.throughput_rps
+    );
+    assert_eq!(cki.nics.kick_exits, 0, "CKI doorbells are shared-memory");
+    assert_eq!(pvm.nics.kick_exits, 0, "PVM doorbells are hypercalls");
+    assert!(pvm.nics.kick_hypercalls >= pvm.nics.kicks);
+    for r in [&hvm, &nested] {
+        assert!(r.nics.kicks > 0);
+        assert!(
+            r.nics.kick_exits >= r.nics.kicks,
+            "{}: every uncoalesced MMIO kick must cost >=1 VM exit",
+            r.backend
+        );
+    }
+
+    // Phase 2 — interrupt-mitigation sweep on the backend that pays the
+    // most per doorbell exit.
+    let sweep: Vec<(u32, ServingReport)> = [1u32, 4, 16]
+        .into_iter()
+        .map(|b| (b, serve(cki::Backend::HvmBm, clients, requests, b)))
+        .collect();
+    println!("== HVM kick-batch sweep");
+    for (batch, r) in &sweep {
+        println!(
+            "batch {batch:>2}: {:.4} exits/request ({} coalesced kicks)",
+            r.exits_per_request, r.nics.coalesced_kicks
+        );
+    }
+    for pair in sweep.windows(2) {
+        assert!(
+            pair[1].1.exits_per_request < pair[0].1.exits_per_request,
+            "raising kick_batch {} -> {} must reduce doorbell exits per request",
+            pair[0].0,
+            pair[1].0
+        );
+    }
+
+    // Phase 3 — serving on the cloud control plane under a tight p99
+    // budget: real request latency (container world switches included)
+    // blows a 10k-cycle budget, so the watchdog must latch an incident.
+    let mut host = CloudHost::new(1024 * MIB, 256 * MIB);
+    host.enable_observability(
+        64,
+        SloWatchdog::new(1).with_rule(SloWatchdog::serving_p99(10_000)),
+    );
+    host.enable_networking(NetConfig::default());
+    let spec = StartSpec::new(64 * MIB);
+    let server = host.start(spec).unwrap();
+    let client = host.start(spec).unwrap();
+    let srv_mac = CloudHost::container_mac(server);
+    let (sfd, sbuf) = host
+        .enter(server, |env| {
+            let buf = env.mmap(PAGE_SIZE).unwrap();
+            let fd = env.sys(Sys::NetSocket).unwrap() as Fd;
+            env.sys(Sys::NetListen { fd, port: 80 }).unwrap();
+            (fd, buf)
+        })
+        .unwrap();
+    let (cfd, cbuf) = host
+        .enter(client, |env| {
+            let buf = env.mmap(PAGE_SIZE).unwrap();
+            let fd = env.sys(Sys::NetSocket).unwrap() as Fd;
+            env.sys(Sys::NetConnect {
+                fd,
+                mac: srv_mac,
+                port: 80,
+            })
+            .unwrap();
+            (fd, buf)
+        })
+        .unwrap();
+    let mut accepted = false;
+    for _ in 0..cloud_requests {
+        let mark = host.machine.cpu.clock.mark();
+        host.enter(client, |env| {
+            env.sys(Sys::NetSend {
+                fd: cfd,
+                buf: cbuf,
+                len: 200,
+            })
+            .unwrap();
+            env.sys(Sys::NetFlush { fd: cfd }).unwrap();
+        })
+        .unwrap();
+        host.net_service();
+        host.enter(server, |env| {
+            if !accepted {
+                env.sys(Sys::NetAccept { fd: sfd }).unwrap();
+                accepted = true;
+            }
+            env.sys(Sys::NetRecv {
+                fd: sfd,
+                buf: sbuf,
+                len: 2048,
+            })
+            .unwrap();
+            env.sys(Sys::NetSend {
+                fd: sfd,
+                buf: sbuf,
+                len: 600,
+            })
+            .unwrap();
+            env.sys(Sys::NetFlush { fd: sfd }).unwrap();
+        })
+        .unwrap();
+        host.net_service();
+        host.enter(client, |env| {
+            env.sys(Sys::NetRecv {
+                fd: cfd,
+                buf: cbuf,
+                len: 2048,
+            })
+            .unwrap();
+        })
+        .unwrap();
+        let lat = host.machine.cpu.clock.since(mark);
+        host.record_request(client, lat);
+    }
+    let metrics = &host.machine.cpu.metrics;
+    let sketch = metrics
+        .sketch_id_of("net.request_cycles", None)
+        .expect("serving sketch registered");
+    let cloud_p99 = metrics.sketch_quantile(sketch, 0.99);
+    let incidents: Vec<_> = host
+        .incidents()
+        .iter()
+        .filter(|i| i.rule == "serving_p99")
+        .collect();
+    let sw = host.switch_stats().expect("networking enabled").clone();
+    println!(
+        "== Cloud serving: {cloud_requests} requests, p99 {cloud_p99} cycles, \
+         {} serving_p99 incident(s), {} frames forwarded",
+        incidents.len(),
+        sw.forwarded
+    );
+    assert!(
+        !incidents.is_empty(),
+        "tight p99 budget must latch a serving_p99 incident"
+    );
+    assert!(
+        incidents[0].flight_dump.is_some(),
+        "incident carries a flight-recorder dump"
+    );
+    assert_eq!(sw.dropped_unknown_dst, 0);
+    assert_eq!(sw.dropped_dead_port, 0);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"requests_per_client\": {requests},");
+    for (name, r) in [
+        ("cki", &cki),
+        ("pvm", &pvm),
+        ("hvm_bm", &hvm),
+        ("hvm_nested", &nested),
+    ] {
+        let _ = writeln!(
+            json,
+            "  \"{name}_throughput_rps\": {:.1},",
+            r.throughput_rps
+        );
+        let _ = writeln!(json, "  \"{name}_p50_cycles\": {},", r.p50_cycles);
+        let _ = writeln!(json, "  \"{name}_p99_cycles\": {},", r.p99_cycles);
+        let _ = writeln!(json, "  \"{name}_kicks\": {},", r.nics.kicks);
+        let _ = writeln!(json, "  \"{name}_kick_exits\": {},", r.nics.kick_exits);
+        let _ = writeln!(
+            json,
+            "  \"{name}_kick_hypercalls\": {},",
+            r.nics.kick_hypercalls
+        );
+        let _ = writeln!(json, "  \"{name}_irqs\": {},", r.nics.irqs);
+        let _ = writeln!(
+            json,
+            "  \"{name}_exits_per_request\": {:.4},",
+            r.exits_per_request
+        );
+    }
+    for (batch, r) in &sweep {
+        let _ = writeln!(
+            json,
+            "  \"sweep_batch{batch}_exits_per_request\": {:.4},",
+            r.exits_per_request
+        );
+        let _ = writeln!(
+            json,
+            "  \"sweep_batch{batch}_coalesced_kicks\": {},",
+            r.nics.coalesced_kicks
+        );
+    }
+    let _ = writeln!(json, "  \"cloud_requests\": {cloud_requests},");
+    let _ = writeln!(json, "  \"cloud_request_p99_cycles\": {cloud_p99},");
+    let _ = writeln!(json, "  \"cloud_switch_forwarded\": {},", sw.forwarded);
+    let _ = writeln!(json, "  \"slo_serving_incidents\": {}", incidents.len());
+    json.push('}');
+    assert!(obs::export::json_balanced(&json), "malformed JSON output");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_net_serving.json", &json).expect("write json");
+    println!("wrote results/BENCH_net_serving.json");
+}

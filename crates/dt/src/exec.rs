@@ -8,6 +8,7 @@
 use cki::{Backend, Stack, StackConfig};
 use cki_core::CkiPlatform;
 use guest_os::{Errno, Fd, Sys};
+use netsim::{Coalesce, HostSwitch, NicLayout, PortId, VirtioNic};
 use sim_hw::{Access, Fault, Instr, Mode};
 use sim_mem::Virt;
 
@@ -143,6 +144,23 @@ fn probe_instr(i: u8) -> Instr {
     }
 }
 
+/// MAC of the packet fixture's NIC; the switch hairpins traffic to it.
+const PKT_MAC: u64 = 0xAA;
+/// Virtqueue size of the fixture NIC — small, so programs can fill it.
+const PKT_QUEUE: u16 = 8;
+/// Egress FIFO depth of the fixture switch — smaller than the ring, so a
+/// burst of sends exercises backpressure before ring-full.
+const PKT_SWITCH_DEPTH: usize = 2;
+
+/// The packet-granular net fixture: one virtqueue NIC hairpinned through
+/// a depth-bounded host switch, plus a listener and a client socket.
+struct PktFixture {
+    switch: HostSwitch,
+    port: PortId,
+    listener: Fd,
+    client: Fd,
+}
+
 /// One backend executing one program.
 pub struct Executor {
     /// The booted stack.
@@ -150,6 +168,7 @@ pub struct Executor {
     regions: [Option<(u64, u64)>; REGION_SLOTS],
     pids: Vec<u32>,
     net_fd: Option<Fd>,
+    pkt: Option<PktFixture>,
     buf: Virt,
     planted: Option<PlantedBug>,
     /// Invariant violations recorded by probes/injections, drained by the
@@ -181,6 +200,7 @@ impl Executor {
             regions: [None; REGION_SLOTS],
             pids: vec![1],
             net_fd: None,
+            pkt: None,
             buf,
             planted: cfg.planted_bug,
             violations: Vec::new(),
@@ -346,6 +366,76 @@ impl Executor {
                 Some(fd) => enc(self.stack.env().sys(Sys::NetFlush { fd })),
                 None => NO_SOCKET,
             },
+            Op::NetOpen => self.net_open(),
+            Op::NetListen { port } => match &self.pkt {
+                Some(p) => {
+                    let fd = p.listener;
+                    enc(self.stack.env().sys(Sys::NetListen {
+                        fd,
+                        port: 1000 + (port % 8) as u16,
+                    }))
+                }
+                None => NO_SOCKET,
+            },
+            Op::NetConnect { port } => match &self.pkt {
+                Some(p) => {
+                    let fd = p.client;
+                    enc(self.stack.env().sys(Sys::NetConnect {
+                        fd,
+                        mac: PKT_MAC,
+                        port: 1000 + (port % 8) as u16,
+                    }))
+                }
+                None => NO_SOCKET,
+            },
+            Op::NetSendTo { sock, len } => match &self.pkt {
+                Some(p) => {
+                    let fd = if sock == 0 { p.listener } else { p.client };
+                    enc(self.stack.env().sys(Sys::NetSend {
+                        fd,
+                        buf,
+                        len: len.clamp(1, 1600) as usize,
+                    }))
+                }
+                None => NO_SOCKET,
+            },
+            Op::NetRecvFrom { sock } => match &self.pkt {
+                Some(p) => {
+                    let fd = if sock == 0 { p.listener } else { p.client };
+                    enc(self.stack.env().sys(Sys::NetRecv { fd, buf, len: 2048 }))
+                }
+                None => NO_SOCKET,
+            },
+            Op::NetAccept => match &self.pkt {
+                Some(p) => {
+                    let fd = p.listener;
+                    enc(self.stack.env().sys(Sys::NetAccept { fd }))
+                }
+                None => NO_SOCKET,
+            },
+            Op::NetService => match &mut self.pkt {
+                Some(p) => {
+                    let Stack {
+                        machine, kernel, ..
+                    } = &mut self.stack;
+                    let nic = kernel.netif_mut().expect("fixture attached a NIC");
+                    let moved = netsim::drain_tx(
+                        &mut machine.mem,
+                        &mut machine.cpu.clock,
+                        nic,
+                        &mut p.switch,
+                        p.port,
+                    ) + netsim::deliver_rx(
+                        &mut machine.mem,
+                        &mut machine.cpu.clock,
+                        nic,
+                        &mut p.switch,
+                        p.port,
+                    );
+                    moved as i64
+                }
+                None => NO_SOCKET,
+            },
             Op::EnablePreemption { quantum_us } => {
                 let q = quantum_us.max(50) as f64 * 1000.0;
                 self.stack.kernel.enable_preemption(&self.stack.machine, q);
@@ -415,6 +505,54 @@ impl Executor {
             ));
         }
         blocked as i64
+    }
+
+    /// Sets up the packet fixture (idempotent). Returns `lfd << 8 | cfd`,
+    /// which is deterministic across backends (fd allocation is part of
+    /// the compared kernel state).
+    fn net_open(&mut self) -> i64 {
+        if self.pkt.is_none() {
+            let kind = self.stack.backend.nic_kind();
+            {
+                let Stack {
+                    machine, kernel, ..
+                } = &mut self.stack;
+                let frames: Vec<u64> = (0..NicLayout::frames_needed(PKT_QUEUE))
+                    .map(|_| {
+                        kernel
+                            .platform
+                            .alloc_frame(machine)
+                            .expect("fixture NIC frames")
+                    })
+                    .collect();
+                let nic = VirtioNic::for_backend(
+                    &mut machine.mem,
+                    &mut machine.cpu.clock,
+                    NicLayout::from_frames(PKT_QUEUE, &frames),
+                    PKT_MAC,
+                    kind,
+                    Coalesce::default(),
+                );
+                kernel.attach_netif(nic);
+            }
+            let mut switch = HostSwitch::new(PKT_SWITCH_DEPTH);
+            let port = switch.attach(PKT_MAC);
+            let listener = self.stack.env().sys(Sys::NetSocket).expect("listener") as Fd;
+            let client = self.stack.env().sys(Sys::NetSocket).expect("client") as Fd;
+            self.pkt = Some(PktFixture {
+                switch,
+                port,
+                listener,
+                client,
+            });
+        }
+        let p = self.pkt.as_ref().expect("fixture just built");
+        ((p.listener as i64) << 8) | p.client as i64
+    }
+
+    /// Forwarding statistics of the packet fixture's switch, if set up.
+    pub fn pkt_switch_stats(&self) -> Option<&netsim::SwitchStats> {
+        self.pkt.as_ref().map(|p| &p.switch.stats)
     }
 
     /// Captures the comparable functional state.

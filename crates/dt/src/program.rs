@@ -124,6 +124,38 @@ pub enum Op {
     },
     /// VirtIO kick — flush the TX batch.
     NetFlush,
+    /// Set up the packet-granular net fixture: a virtqueue NIC on the
+    /// stack's guest memory, a depth-bounded host switch, and two sockets
+    /// (a listener and a client). Idempotent; returns `lfd << 8 | cfd`.
+    NetOpen,
+    /// Listen on the fixture's listener socket (port `1000 + p % 8`).
+    NetListen {
+        /// Port selector.
+        port: u8,
+    },
+    /// Connect the fixture's client socket to the stack's own MAC (the
+    /// switch hairpins it), port `1000 + p % 8`.
+    NetConnect {
+        /// Port selector.
+        port: u8,
+    },
+    /// Queue one frame on a fixture socket; returns the payload hash.
+    NetSendTo {
+        /// Socket selector: 0 = listener (reply path), else client.
+        sock: u8,
+        /// Payload bytes.
+        len: u16,
+    },
+    /// Receive one frame from a fixture socket; returns the payload hash.
+    NetRecvFrom {
+        /// Socket selector: 0 = listener, else client.
+        sock: u8,
+    },
+    /// Accept the next peer on the fixture's listener.
+    NetAccept,
+    /// One host service pass over the fixture switch (bounded FIFO —
+    /// backpressured frames stay on the TX ring); returns frames moved.
+    NetService,
     /// Arm the preemption timer (subsequent ops run under tick pressure).
     EnablePreemption {
         /// Quantum in microseconds.
@@ -181,6 +213,13 @@ impl Op {
             Op::NetRecv { len } => format!("netrecv {len}"),
             Op::NetSend { len } => format!("netsend {len}"),
             Op::NetFlush => "netflush".into(),
+            Op::NetOpen => "netopen".into(),
+            Op::NetListen { port } => format!("netlisten {port}"),
+            Op::NetConnect { port } => format!("netconnect {port}"),
+            Op::NetSendTo { sock, len } => format!("netsendto {sock} {len}"),
+            Op::NetRecvFrom { sock } => format!("netrecvfrom {sock}"),
+            Op::NetAccept => "netaccept".into(),
+            Op::NetService => "netservice".into(),
             Op::EnablePreemption { quantum_us } => format!("preempt {quantum_us}"),
             Op::PkProbe(i) => format!("pkprobe {i}"),
             Op::PtpWriteProbe => "ptpwrite".into(),
@@ -253,6 +292,22 @@ impl Op {
                 len: num("len")? as u16,
             },
             "netflush" => Op::NetFlush,
+            "netopen" => Op::NetOpen,
+            "netlisten" => Op::NetListen {
+                port: num("port")? as u8,
+            },
+            "netconnect" => Op::NetConnect {
+                port: num("port")? as u8,
+            },
+            "netsendto" => Op::NetSendTo {
+                sock: num("sock")? as u8,
+                len: num("len")? as u16,
+            },
+            "netrecvfrom" => Op::NetRecvFrom {
+                sock: num("sock")? as u8,
+            },
+            "netaccept" => Op::NetAccept,
+            "netservice" => Op::NetService,
             "preempt" => Op::EnablePreemption {
                 quantum_us: num("quantum")? as u16,
             },
@@ -270,7 +325,7 @@ impl Op {
 /// Draws one random op. Attack probes and timer arming are deliberately
 /// rare so most of a program is comparable work.
 pub fn random_op(rng: &mut SmallRng) -> Op {
-    match rng.gen_range(0u32..32) {
+    match rng.gen_range(0u32..40) {
         0 => Op::Getpid,
         1 => Op::Open(rng.gen_range(0u8..4)),
         2 => Op::CloseFd(rng.gen_range(0u8..8)),
@@ -335,13 +390,29 @@ pub fn random_op(rng: &mut SmallRng) -> Op {
                 Op::Getpid
             }
         }
-        _ => {
+        31 => {
             if rng.gen_bool(0.5) {
                 Op::PkProbe(rng.gen_range(0u8..4))
             } else {
                 Op::PtpWriteProbe
             }
         }
+        32 => Op::NetOpen,
+        33 => Op::NetListen {
+            port: rng.gen_range(0u8..8),
+        },
+        34 => Op::NetConnect {
+            port: rng.gen_range(0u8..8),
+        },
+        35 | 36 => Op::NetSendTo {
+            sock: rng.gen_range(0u8..2),
+            len: rng.gen_range(1u16..1600),
+        },
+        37 => Op::NetRecvFrom {
+            sock: rng.gen_range(0u8..2),
+        },
+        38 => Op::NetAccept,
+        _ => Op::NetService,
     }
 }
 
@@ -460,6 +531,13 @@ mod tests {
             Op::NetRecv { len: 512 },
             Op::NetSend { len: 256 },
             Op::NetFlush,
+            Op::NetOpen,
+            Op::NetListen { port: 5 },
+            Op::NetConnect { port: 5 },
+            Op::NetSendTo { sock: 1, len: 900 },
+            Op::NetRecvFrom { sock: 0 },
+            Op::NetAccept,
+            Op::NetService,
             Op::EnablePreemption { quantum_us: 100 },
             Op::PkProbe(3),
             Op::PtpWriteProbe,

@@ -9,9 +9,9 @@ use std::collections::HashMap;
 
 use obs::{CounterId, MetricsRegistry};
 
-use sim_hw::{Machine, Tag};
+use sim_hw::{Clock, Machine, Tag};
 use sim_mem::addr::{page_align_down, page_align_up};
-use sim_mem::{MapFlags, Phys, Virt, PAGE_SIZE};
+use sim_mem::{MapFlags, Phys, PhysMem, Virt, PAGE_SIZE};
 
 use crate::costs;
 use crate::platform::{Hypercall, Platform};
@@ -37,6 +37,27 @@ struct Socket {
     rx_backlog: u32,
     /// Responses queued, not yet kicked.
     tx_pending: u32,
+    /// Packet-granular state, present once the socket is bound via
+    /// `NetListen`/`NetConnect` (requires an attached [`VirtioNic`]).
+    /// Without it the socket uses the legacy batch-granular LoadGen path.
+    net: Option<NetSock>,
+}
+
+/// Packet-granular socket state: a port bound on the container's NIC.
+#[derive(Debug, Default, Clone)]
+struct NetSock {
+    /// Local port (listen port, or the ephemeral port of a connect).
+    port: u16,
+    /// Connected peer (set by `NetConnect`).
+    peer: Option<(netsim::Mac, u16)>,
+    /// Source of the most recently received frame — where a listening
+    /// socket's replies go (last-caller semantics, enough for closed-loop
+    /// request/response).
+    last_from: Option<(netsim::Mac, u16)>,
+    /// Send sequence number; seeds the deterministic payload pattern.
+    seq: u64,
+    /// Frames demultiplexed to this socket, not yet received.
+    rxq: std::collections::VecDeque<netsim::Frame>,
 }
 
 /// Aggregate kernel statistics — a *view* reconstructed from the kernel's
@@ -70,6 +91,13 @@ pub struct Kernel {
     pub vfs: TmpFs,
     pipes: Vec<Pipe>,
     socks: Vec<Socket>,
+    /// The container's virtqueue NIC, when the host attached one
+    /// ([`Kernel::attach_netif`]). Owned by the kernel so syscalls reach it
+    /// without host mediation; the host halves (`drain_tx`/`deliver_rx`)
+    /// borrow it during service passes.
+    netif: Option<netsim::VirtioNic>,
+    /// Next ephemeral port for `NetConnect` (49152..).
+    next_eph: u16,
     frame_refs: HashMap<Phys, u32>,
     /// Preemption timer: quantum in cycles and the next-tick deadline.
     timer: Option<(u64, u64)>,
@@ -113,6 +141,8 @@ impl Kernel {
             vfs: TmpFs::new(),
             pipes: Vec::new(),
             socks: Vec::new(),
+            netif: None,
+            next_eph: 49152,
             frame_refs: HashMap::new(),
             timer: None,
             timer_ticks: 0,
@@ -176,6 +206,10 @@ impl Kernel {
             vfs: self.vfs.clone(),
             pipes: self.pipes.clone(),
             socks: self.socks.clone(),
+            // The NIC's rings live at parent physical addresses; the host
+            // attaches a fresh NIC to the clone after activation.
+            netif: None,
+            next_eph: self.next_eph,
             frame_refs: self
                 .frame_refs
                 .iter()
@@ -203,6 +237,38 @@ impl Kernel {
             .drain()
             .map(|(pa, n)| (relocate(pa), n))
             .collect();
+    }
+
+    /// Attaches a virtqueue NIC; packet-granular socket syscalls
+    /// (`NetListen`/`NetConnect` and the send/recv paths behind them)
+    /// become available.
+    pub fn attach_netif(&mut self, nic: netsim::VirtioNic) {
+        self.netif = Some(nic);
+    }
+
+    /// The attached NIC, if any.
+    pub fn netif(&self) -> Option<&netsim::VirtioNic> {
+        self.netif.as_ref()
+    }
+
+    /// Mutable access to the NIC — the host's service pass borrows it for
+    /// `drain_tx`/`deliver_rx`.
+    pub fn netif_mut(&mut self) -> Option<&mut netsim::VirtioNic> {
+        self.netif.as_mut()
+    }
+
+    /// Detaches and returns the NIC (container stop).
+    pub fn take_netif(&mut self) -> Option<netsim::VirtioNic> {
+        self.netif.take()
+    }
+
+    /// Shifts the NIC's ring, descriptor, and buffer addresses by `delta`
+    /// — the NIC half of an in-place segment migration (pair with
+    /// [`Kernel::rebase_frames`], after the page image was copied).
+    pub fn rebase_netif(&mut self, mem: &mut PhysMem, clock: &mut Clock, delta: i64) {
+        if let Some(nic) = &mut self.netif {
+            nic.rebase(mem, clock, delta);
+        }
     }
 
     /// Reconstructs the aggregate [`Stats`] view from the metrics registry.
@@ -553,6 +619,9 @@ impl Kernel {
             Sys::PipeCreate => self.sys_pipe(false),
             Sys::SocketPair => self.sys_pipe(true),
             Sys::NetSocket => self.sys_net_socket(),
+            Sys::NetListen { fd, port } => self.sys_net_listen(m, fd, port),
+            Sys::NetConnect { fd, mac, port } => self.sys_net_connect(m, fd, mac, port),
+            Sys::NetAccept { fd } => self.sys_net_accept(m, fd),
             Sys::NetRecv { fd, buf, len } => self.sys_net_recv(m, fd, buf, len),
             Sys::NetSend { fd, buf, len } => self.sys_net_send(m, fd, buf, len),
             Sys::NetFlush { fd } => self.sys_net_flush(m, fd),
@@ -984,9 +1053,154 @@ impl Kernel {
         }
     }
 
+    fn sys_net_listen(&mut self, m: &mut Machine, fd: Fd, port: u16) -> SysResult {
+        m.cpu
+            .clock
+            .charge(Tag::Handler, costs::FD_LOOKUP + costs::SOCK_OP);
+        if self.netif.is_none() {
+            return Err(Errno::NoSys);
+        }
+        let sock = self.sock_of(fd)?;
+        if self
+            .socks
+            .iter()
+            .any(|s| s.net.as_ref().is_some_and(|n| n.port == port))
+        {
+            return Err(Errno::Inval); // EADDRINUSE stand-in
+        }
+        self.socks[sock].net = Some(NetSock {
+            port,
+            ..NetSock::default()
+        });
+        Ok(0)
+    }
+
+    fn sys_net_connect(&mut self, m: &mut Machine, fd: Fd, mac: u64, port: u16) -> SysResult {
+        m.cpu.clock.charge(
+            Tag::Handler,
+            costs::FD_LOOKUP + costs::SOCK_OP + costs::TCP_STACK,
+        );
+        if self.netif.is_none() {
+            return Err(Errno::NoSys);
+        }
+        let sock = self.sock_of(fd)?;
+        let eph = self.next_eph;
+        self.next_eph = self.next_eph.checked_add(1).ok_or(Errno::NoMem)?;
+        self.socks[sock].net = Some(NetSock {
+            port: eph,
+            peer: Some((mac, port)),
+            ..NetSock::default()
+        });
+        Ok(eph as u64)
+    }
+
+    fn sys_net_accept(&mut self, m: &mut Machine, fd: Fd) -> SysResult {
+        m.cpu
+            .clock
+            .charge(Tag::Handler, costs::FD_LOOKUP + costs::SOCK_OP);
+        let sock = self.sock_of(fd)?;
+        if self.socks[sock].net.is_none() {
+            return Err(Errno::Inval);
+        }
+        self.net_demux(m);
+        let net = self.socks[sock].net.as_ref().expect("checked above");
+        match net.rxq.front() {
+            Some(f) => Ok((f.src << 16) | f.src_port as u64),
+            None => Err(Errno::WouldBlock),
+        }
+    }
+
+    /// Drains the NIC's RX ring, demultiplexing frames into bound sockets
+    /// by destination port. Frames to unbound ports are dropped, as a real
+    /// stack would drop to a closed port.
+    fn net_demux(&mut self, m: &mut Machine) {
+        let Some(nic) = &mut self.netif else { return };
+        while let Some(f) = nic.recv(&mut m.mem, &mut m.cpu.clock) {
+            let target = self
+                .socks
+                .iter()
+                .position(|s| s.net.as_ref().is_some_and(|n| n.port == f.dst_port));
+            if let Some(i) = target {
+                self.socks[i]
+                    .net
+                    .as_mut()
+                    .expect("matched")
+                    .rxq
+                    .push_back(f);
+            }
+        }
+    }
+
+    /// Packet-granular receive: pop this socket's demux queue, recording
+    /// the sender for reply routing. Returns the payload hash (the
+    /// cross-container integrity token). Empty queue flushes pending TX
+    /// (the doorbell the event loop owes) and returns `WouldBlock`.
+    fn sys_net_recv_packet(
+        &mut self,
+        m: &mut Machine,
+        sock: usize,
+        buf: Virt,
+        len: usize,
+    ) -> SysResult {
+        self.net_demux(m);
+        let net = self.socks[sock].net.as_mut().expect("packet path");
+        match net.rxq.pop_front() {
+            Some(f) => {
+                net.last_from = Some((f.src, f.src_port));
+                m.cpu.clock.charge(Tag::Handler, costs::TCP_STACK);
+                let n = f.payload.len().min(len);
+                let hash = f.payload_hash();
+                self.copy_user(m, buf, n, true)?;
+                Ok(hash)
+            }
+            None => {
+                if let Some(nic) = &mut self.netif {
+                    nic.flush(&mut m.cpu.clock);
+                }
+                Err(Errno::WouldBlock)
+            }
+        }
+    }
+
+    /// Packet-granular send: materialize a deterministic payload, queue it
+    /// on the TX ring (doorbell per the NIC's coalescing policy). Returns
+    /// the payload hash; `RingFull` surfaces as `WouldBlock` backpressure.
+    fn sys_net_send_packet(
+        &mut self,
+        m: &mut Machine,
+        sock: usize,
+        buf: Virt,
+        len: usize,
+    ) -> SysResult {
+        self.copy_user(m, buf, len, false)?;
+        let nic = self.netif.as_mut().expect("packet path");
+        let net = self.socks[sock].net.as_mut().expect("packet path");
+        let (dst, dst_port) = net.peer.or(net.last_from).ok_or(Errno::Pipe)?;
+        let seed = ((net.port as u64) << 32) | net.seq;
+        let frame = netsim::Frame {
+            dst,
+            src: nic.mac,
+            dst_port,
+            src_port: net.port,
+            payload: netsim::payload_pattern(seed, len),
+        };
+        let hash = frame.payload_hash();
+        match nic.send(&mut m.mem, &mut m.cpu.clock, &frame) {
+            Ok(()) => {
+                net.seq += 1;
+                Ok(hash)
+            }
+            Err(netsim::NetError::RingFull) => Err(Errno::WouldBlock),
+            Err(_) => Err(Errno::Pipe),
+        }
+    }
+
     fn sys_net_recv(&mut self, m: &mut Machine, fd: Fd, buf: Virt, len: usize) -> SysResult {
         m.cpu.clock.charge(Tag::Handler, costs::FD_LOOKUP);
         let sock = self.sock_of(fd)?;
+        if self.socks[sock].net.is_some() {
+            return self.sys_net_recv_packet(m, sock, buf, len);
+        }
         if self.socks[sock].rx_backlog == 0 {
             // Flush queued responses before sleeping — end of a batch.
             let pending = self.socks[sock].tx_pending;
@@ -1017,6 +1231,9 @@ impl Kernel {
             .clock
             .charge(Tag::Handler, costs::FD_LOOKUP + costs::TCP_STACK);
         let sock = self.sock_of(fd)?;
+        if self.socks[sock].net.is_some() {
+            return self.sys_net_send_packet(m, sock, buf, len);
+        }
         self.copy_user(m, buf, len, false)?;
         self.socks[sock].tx_pending += 1;
         Ok(len as u64)
@@ -1024,6 +1241,11 @@ impl Kernel {
 
     fn sys_net_flush(&mut self, m: &mut Machine, fd: Fd) -> SysResult {
         let sock = self.sock_of(fd)?;
+        if self.socks[sock].net.is_some() {
+            let nic = self.netif.as_mut().ok_or(Errno::NoSys)?;
+            nic.flush(&mut m.cpu.clock);
+            return Ok(0);
+        }
         let pending = self.socks[sock].tx_pending;
         if pending > 0 {
             self.platform
@@ -1347,6 +1569,133 @@ mod tests {
         .unwrap();
         // Data frames returned (intermediate PTPs may remain cached).
         assert!(m.frames.in_use() <= in_use_before + 4);
+    }
+
+    #[test]
+    fn packet_sockets_loopback_roundtrip() {
+        let (mut k, mut m) = boot();
+        let queue = 8u16;
+        let frames: Vec<u64> = (0..netsim::NicLayout::frames_needed(queue))
+            .map(|_| m.frames.alloc().expect("nic frame"))
+            .collect();
+        let nic = netsim::VirtioNic::for_backend(
+            &mut m.mem,
+            &mut m.cpu.clock,
+            netsim::NicLayout::from_frames(queue, &frames),
+            0xAA,
+            netsim::NicBackendKind::Native,
+            netsim::Coalesce::default(),
+        );
+        k.attach_netif(nic);
+        let mut sw = netsim::HostSwitch::new(8);
+        let port = sw.attach(0xAA);
+        let service = |k: &mut Kernel, m: &mut Machine, sw: &mut netsim::HostSwitch| {
+            let nic = k.netif_mut().expect("nic");
+            netsim::drain_tx(&mut m.mem, &mut m.cpu.clock, nic, sw, port);
+            netsim::deliver_rx(&mut m.mem, &mut m.cpu.clock, nic, sw, port);
+        };
+
+        let buf = k
+            .syscall(
+                &mut m,
+                Sys::Mmap {
+                    len: PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .unwrap();
+        let srv = k.syscall(&mut m, Sys::NetSocket).unwrap() as Fd;
+        k.syscall(&mut m, Sys::NetListen { fd: srv, port: 80 })
+            .unwrap();
+        let cli = k.syscall(&mut m, Sys::NetSocket).unwrap() as Fd;
+        let eph = k
+            .syscall(
+                &mut m,
+                Sys::NetConnect {
+                    fd: cli,
+                    mac: 0xAA,
+                    port: 80,
+                },
+            )
+            .unwrap();
+        assert_eq!(eph, 49152);
+
+        // Request: client → (switch loopback) → listener.
+        let req_hash = k
+            .syscall(
+                &mut m,
+                Sys::NetSend {
+                    fd: cli,
+                    buf,
+                    len: 100,
+                },
+            )
+            .unwrap();
+        service(&mut k, &mut m, &mut sw);
+        let who = k.syscall(&mut m, Sys::NetAccept { fd: srv }).unwrap();
+        assert_eq!(who, (0xAA << 16) | eph);
+        let got = k
+            .syscall(
+                &mut m,
+                Sys::NetRecv {
+                    fd: srv,
+                    buf,
+                    len: 2048,
+                },
+            )
+            .unwrap();
+        assert_eq!(got, req_hash, "payload hash survives the dataplane");
+
+        // Response rides last_from back to the client's ephemeral port.
+        let resp_hash = k
+            .syscall(
+                &mut m,
+                Sys::NetSend {
+                    fd: srv,
+                    buf,
+                    len: 64,
+                },
+            )
+            .unwrap();
+        service(&mut k, &mut m, &mut sw);
+        let got = k
+            .syscall(
+                &mut m,
+                Sys::NetRecv {
+                    fd: cli,
+                    buf,
+                    len: 2048,
+                },
+            )
+            .unwrap();
+        assert_eq!(got, resp_hash);
+        assert_eq!(
+            k.syscall(
+                &mut m,
+                Sys::NetRecv {
+                    fd: cli,
+                    buf,
+                    len: 2048
+                }
+            ),
+            Err(Errno::WouldBlock)
+        );
+        // A socket with no NIC-bound port still errors cleanly.
+        let plain = k.syscall(&mut m, Sys::NetSocket).unwrap() as Fd;
+        assert_eq!(
+            k.syscall(&mut m, Sys::NetAccept { fd: plain }),
+            Err(Errno::Inval)
+        );
+    }
+
+    #[test]
+    fn net_listen_without_nic_is_nosys() {
+        let (mut k, mut m) = boot();
+        let fd = k.syscall(&mut m, Sys::NetSocket).unwrap() as Fd;
+        assert_eq!(
+            k.syscall(&mut m, Sys::NetListen { fd, port: 80 }),
+            Err(Errno::NoSys)
+        );
     }
 
     #[test]

@@ -1,103 +1,7 @@
 //! Closed-loop network load generation for server workloads.
 //!
-//! Models a memtier_benchmark-style client fleet: `clients` connections,
-//! each closed-loop with one outstanding request (the paper's Figure 16
-//! setup: memtier with a 1:1 read/write ratio and 500-byte values, varying
-//! the number of clients). The server polls the VirtIO RX queue; the
-//! generator answers with however many requests are pending, capped by the
-//! ring size — so more clients mean bigger batches and better amortization
-//! of per-interrupt/per-kick costs, which is exactly the effect that
-//! separates CKI/PVM from nested HVM in Figure 16.
+//! [`LoadGen`] moved to `netsim` — the single home of the network cost
+//! model — and is re-exported here so guest-kernel code and downstream
+//! users of `guest_os::LoadGen` keep compiling unchanged.
 
-/// Closed-loop request generator attached to a container's virtual NIC.
-#[derive(Debug, Clone)]
-pub struct LoadGen {
-    /// Number of client connections.
-    pub clients: u32,
-    /// VirtIO ring capacity (max burst returned by one poll).
-    pub ring_size: u32,
-    /// Request payload bytes (memtier: ~500-byte values).
-    pub request_bytes: u32,
-    /// Response payload bytes.
-    pub response_bytes: u32,
-    in_flight: u32,
-    delivered: u64,
-}
-
-impl LoadGen {
-    /// Creates a generator with `clients` closed-loop connections.
-    pub fn new(clients: u32) -> Self {
-        Self {
-            clients,
-            ring_size: 256,
-            request_bytes: 540,
-            response_bytes: 540,
-            in_flight: 0,
-            delivered: 0,
-        }
-    }
-
-    /// Server polls the RX ring: returns the number of requests delivered.
-    ///
-    /// Closed loop: every client not currently waiting for the server has a
-    /// request ready.
-    pub fn poll(&mut self) -> u32 {
-        let ready = self
-            .clients
-            .saturating_sub(self.in_flight)
-            .min(self.ring_size);
-        self.in_flight += ready;
-        self.delivered += ready as u64;
-        ready
-    }
-
-    /// Server completed `n` responses; those clients issue new requests.
-    pub fn complete(&mut self, n: u32) {
-        self.in_flight = self.in_flight.saturating_sub(n);
-    }
-
-    /// Total requests delivered to the server.
-    pub fn delivered(&self) -> u64 {
-        self.delivered
-    }
-
-    /// Requests currently being processed by the server.
-    pub fn in_flight(&self) -> u32 {
-        self.in_flight
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn closed_loop_batching() {
-        let mut g = LoadGen::new(8);
-        assert_eq!(g.poll(), 8, "all clients pending initially");
-        assert_eq!(g.poll(), 0, "closed loop: nothing until completions");
-        g.complete(3);
-        assert_eq!(g.poll(), 3);
-        g.complete(8);
-        assert_eq!(g.poll(), 8, "all completed clients re-request");
-        assert_eq!(g.delivered(), 19);
-    }
-
-    #[test]
-    fn ring_caps_burst() {
-        let mut g = LoadGen::new(1000);
-        g.ring_size = 256;
-        assert_eq!(g.poll(), 256);
-        g.complete(256);
-        assert_eq!(g.poll(), 256);
-    }
-
-    #[test]
-    fn single_client_serializes() {
-        let mut g = LoadGen::new(1);
-        assert_eq!(g.poll(), 1);
-        assert_eq!(g.poll(), 0);
-        g.complete(1);
-        assert_eq!(g.poll(), 1);
-    }
-}
+pub use netsim::LoadGen;

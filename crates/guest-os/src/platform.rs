@@ -225,8 +225,8 @@ pub trait Platform {
 /// (OS-level containers / RunC). Every privileged operation is direct.
 pub struct NativePlatform {
     pcid: u16,
-    net_load: Option<crate::net::LoadGen>,
-    woke_from_idle: bool,
+    net: Option<netsim::NetBackend>,
+    clients: u32,
 }
 
 impl NativePlatform {
@@ -234,20 +234,32 @@ impl NativePlatform {
     pub fn new(pcid: u16) -> Self {
         Self {
             pcid,
-            net_load: None,
-            woke_from_idle: false,
+            net: None,
+            clients: 0,
         }
     }
 
     /// Attaches a closed-loop client fleet to the native NIC driver
     /// (0 clients detaches).
     pub fn with_clients(mut self, clients: u32) -> Self {
-        self.net_load = if clients == 0 {
-            None
-        } else {
-            Some(crate::net::LoadGen::new(clients))
-        };
+        self.clients = clients;
+        if let Some(net) = &mut self.net {
+            net.set_clients(clients);
+        }
         self
+    }
+
+    /// Builds the shared network cost model on first use, priced at this
+    /// platform's (native) exit class — lazy so it inherits the machine's
+    /// cost model. kick_mmio stays 1: natively the "kick" is one direct
+    /// driver call (260-cycle roundtrip), not a trapped MMIO.
+    fn ensure_net(&mut self, m: &Machine) {
+        if self.net.is_none() {
+            self.net = Some(
+                netsim::NetBackend::new(netsim::ExitCosts::native(m.cpu.clock.model()))
+                    .with_clients(self.clients),
+            );
+        }
     }
 
     fn charge(m: &mut Machine, tag: Tag, cycles: u64) {
@@ -405,34 +417,26 @@ impl Platform for NativePlatform {
 
     fn hypercall(&mut self, m: &mut Machine, call: Hypercall) -> u64 {
         // Native: no hypercall exists; the equivalent work is a direct
-        // driver invocation in the same kernel (NIC ring doorbells and
-        // interrupts cost APIC MMIO, not exits).
+        // driver invocation in the same kernel. Net events route through
+        // the shared netsim cost model priced at the native exit class, so
+        // RunC and the virtualized designs differ only in ExitCosts.
         let model = m.cpu.clock.model().clone();
         match call {
             Hypercall::NetKick { packets } => {
-                let c = model.net_packet.saturating_mul(packets as u64) / 4 + 300;
-                Self::charge(m, Tag::Io, c);
-                if let Some(load) = &mut self.net_load {
-                    load.complete(packets);
-                }
+                self.ensure_net(m);
+                let net = self.net.as_mut().expect("just built");
+                net.kick(&mut m.cpu.clock, packets);
                 0
             }
             Hypercall::NetPoll => {
-                Self::charge(m, Tag::Io, model.virtio_process / 2);
-                let n = self.net_load.as_mut().map_or(0, |l| l.poll());
-                if n > 0 {
-                    Self::charge(m, Tag::Io, model.net_packet * n as u64 / 4);
-                    if self.woke_from_idle {
-                        // NIC interrupt + EOI, both cheap natively.
-                        Self::charge(m, Tag::Io, model.irq_inject + 100);
-                        self.woke_from_idle = false;
-                    }
-                }
-                n as u64
+                self.ensure_net(m);
+                let net = self.net.as_mut().expect("just built");
+                net.poll(&mut m.cpu.clock) as u64
             }
             Hypercall::VcpuHalt => {
-                Self::charge(m, Tag::Sched, model.hlt + 300);
-                self.woke_from_idle = true;
+                self.ensure_net(m);
+                let net = self.net.as_mut().expect("just built");
+                net.halt(&mut m.cpu.clock);
                 0
             }
             Hypercall::BlockIo { .. } => {

@@ -153,6 +153,31 @@ pub enum Sys<'a> {
     SocketPair,
     /// Creates a TCP-over-VirtIO server socket; returns the fd.
     NetSocket,
+    /// Binds the socket to `port` and marks it listening. Requires a
+    /// packet-granular NIC (`Kernel::attach_netif`); returns `NoSys`
+    /// otherwise.
+    NetListen {
+        /// Socket descriptor.
+        fd: Fd,
+        /// Port to listen on.
+        port: u16,
+    },
+    /// Connects the socket to `mac`:`port`, assigning an ephemeral local
+    /// port. Requires a packet-granular NIC.
+    NetConnect {
+        /// Socket descriptor.
+        fd: Fd,
+        /// Destination MAC (another container's NIC).
+        mac: u64,
+        /// Destination port.
+        port: u16,
+    },
+    /// Accepts the next peer on a listening socket; returns
+    /// `src_mac << 16 | src_port` without consuming the queued frame.
+    NetAccept {
+        /// Socket descriptor.
+        fd: Fd,
+    },
     /// Receives one request from the network socket (polls the VirtIO ring
     /// when the backlog is empty).
     NetRecv {
@@ -206,6 +231,9 @@ impl Sys<'_> {
             Sys::PipeCreate => "pipe",
             Sys::SocketPair => "socketpair",
             Sys::NetSocket => "socket",
+            Sys::NetListen { .. } => "listen",
+            Sys::NetConnect { .. } => "connect",
+            Sys::NetAccept { .. } => "accept",
             Sys::NetRecv { .. } => "recv",
             Sys::NetSend { .. } => "send",
             Sys::NetFlush { .. } => "flush",

@@ -171,6 +171,9 @@ pub struct CostModel {
     // --- I/O ---------------------------------------------------------------------
     /// VirtIO queue descriptor processing per request (host side).
     pub virtio_process: u64,
+    /// One split-ring descriptor or index access through guest physical
+    /// memory (cache-coherent DMA read/write; same currency as `pt_load`).
+    pub dma_desc: u64,
     /// Device-side work per network packet (copy + fabric).
     pub net_packet: u64,
     /// Interrupt injection bookkeeping in the host.
@@ -217,6 +220,7 @@ impl Default for CostModel {
             ksm_stack_switch: 6,
             ksm_validate: 16,
             virtio_process: 700,
+            dma_desc: 40,
             net_packet: 1900,
             irq_inject: 260,
             copy_per_byte_x100: 3,

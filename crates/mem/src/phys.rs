@@ -108,6 +108,71 @@ impl PhysMem {
         frame[off..off + 8].copy_from_slice(&value.to_le_bytes());
     }
 
+    /// Reads a naturally-aligned `u16` at physical address `pa` (split-ring
+    /// index and descriptor fields are 16-bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 2-byte aligned or out of range.
+    pub fn read_u16(&mut self, pa: Phys) -> u16 {
+        self.check(pa, 2);
+        assert_eq!(pa % 2, 0, "unaligned u16 read at {pa:#x}");
+        self.reads += 1;
+        match self.frames.get(&pfn(pa)) {
+            Some(f) => {
+                let off = page_offset(pa) as usize;
+                u16::from_le_bytes(f[off..off + 2].try_into().expect("2-byte slice"))
+            }
+            None => 0,
+        }
+    }
+
+    /// Writes a naturally-aligned `u16` at physical address `pa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 2-byte aligned or out of range.
+    pub fn write_u16(&mut self, pa: Phys, value: u16) {
+        self.check(pa, 2);
+        assert_eq!(pa % 2, 0, "unaligned u16 write at {pa:#x}");
+        self.writes += 1;
+        let frame = self.frame_mut(pa);
+        let off = page_offset(pa) as usize;
+        frame[off..off + 2].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads a naturally-aligned `u32` at physical address `pa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 4-byte aligned or out of range.
+    pub fn read_u32(&mut self, pa: Phys) -> u32 {
+        self.check(pa, 4);
+        assert_eq!(pa % 4, 0, "unaligned u32 read at {pa:#x}");
+        self.reads += 1;
+        match self.frames.get(&pfn(pa)) {
+            Some(f) => {
+                let off = page_offset(pa) as usize;
+                u32::from_le_bytes(f[off..off + 4].try_into().expect("4-byte slice"))
+            }
+            None => 0,
+        }
+    }
+
+    /// Writes a naturally-aligned `u32` at physical address `pa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 4-byte aligned or out of range.
+    pub fn write_u32(&mut self, pa: Phys, value: u32) {
+        self.check(pa, 4);
+        assert_eq!(pa % 4, 0, "unaligned u32 write at {pa:#x}");
+        self.writes += 1;
+        let frame = self.frame_mut(pa);
+        let off = page_offset(pa) as usize;
+        frame[off..off + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
     /// Reads a single byte.
     pub fn read_u8(&mut self, pa: Phys) -> u8 {
         self.check(pa, 1);
@@ -242,6 +307,24 @@ mod tests {
         m.write_u64(0x1008, 0x0123_4567_89ab_cdef);
         assert_eq!(m.read_u64(0x1008), 0x0123_4567_89ab_cdef);
         assert_eq!(m.read_u64(0x1000), 0);
+    }
+
+    #[test]
+    fn u16_u32_roundtrip() {
+        let mut m = PhysMem::new(1 << 20);
+        m.write_u16(0x1002, 0xBEEF);
+        m.write_u32(0x1004, 0xDEAD_BEEF);
+        assert_eq!(m.read_u16(0x1002), 0xBEEF);
+        assert_eq!(m.read_u32(0x1004), 0xDEAD_BEEF);
+        assert_eq!(m.read_u16(0x1000), 0, "untouched memory reads as zero");
+        assert_eq!(m.read_u32(0x2000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_u16_panics() {
+        let mut m = PhysMem::new(1 << 20);
+        m.read_u16(0x1001);
     }
 
     #[test]

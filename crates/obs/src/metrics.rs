@@ -207,6 +207,12 @@ impl MetricsRegistry {
         self.sketch_with(name, label.map(Cow::Borrowed))
     }
 
+    /// Registers (or finds) a sketch with an owned (dynamic) label, e.g.
+    /// the per-NIC dimension `("net.request_cycles", "c42")`.
+    pub fn sketch_owned(&mut self, name: &'static str, label: impl Into<String>) -> SketchId {
+        self.sketch_with(name, Some(Cow::Owned(label.into())))
+    }
+
     fn sketch_with(&mut self, name: &'static str, label: Option<Label>) -> SketchId {
         if let Some(&id) = self.sindex.get(&(name, label.clone())) {
             return id;
@@ -646,6 +652,21 @@ mod tests {
         assert!(text.contains("# TYPE cloud_invoke_cycles summary"));
         assert!(text.contains("cloud_invoke_cycles{quantile=\"0.99\"}"));
         assert!(text.contains("cloud_invoke_cycles_count 6"));
+    }
+
+    #[test]
+    fn owned_sketch_labels_are_distinct_series() {
+        let mut r = MetricsRegistry::new();
+        let a = r.sketch_owned("net.request_cycles", "c1");
+        let b = r.sketch_owned("net.request_cycles", "c2");
+        assert_ne!(a, b);
+        assert_eq!(r.sketch_owned("net.request_cycles", "c1"), a, "idempotent");
+        r.record(a, 100);
+        r.record(b, 900);
+        assert_eq!(r.sketch_id_of("net.request_cycles", Some("c2")), Some(b));
+        let s = r.snapshot();
+        assert_eq!(s.sketches["net.request_cycles{c1}"].count, 1);
+        assert_eq!(s.sketches["net.request_cycles{c2}"].count, 1);
     }
 
     #[test]

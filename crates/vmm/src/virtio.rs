@@ -1,154 +1,17 @@
 //! VirtIO device backends.
 //!
-//! The network backend couples a closed-loop [`LoadGen`] (the memtier-style
-//! client fleet) to the exit-class costs of the hosting design. Per batch
-//! the server pays, in exit-class currency:
-//!
-//! - one TX **kick** (queue notification),
-//! - one RX **interrupt** injection plus the guest's **EOI**,
-//! - one TX-completion interrupt plus EOI,
-//! - and a **halt/wake** pair when the queue ran dry.
-//!
-//! Under nested HVM each of these is an L0-mediated exit (6.7 µs); under
-//! CKI each is a 390 ns PKS-gate hypercall — that difference is Figure 16.
+//! The network backend ([`NetBackend`]) moved to `netsim`, which owns the
+//! *only* model of kick/poll costs — every platform, including the native
+//! RunC kernel that used to price these events with hand-rolled constants,
+//! now routes its `NetKick`/`NetPoll`/`VcpuHalt` hypercalls through it.
+//! It is re-exported here so `vmm::NetBackend` keeps working. The block
+//! backend stays: netsim is a networking crate.
 
-use guest_os::LoadGen;
 use sim_hw::{Clock, Tag};
 
 use crate::exits::ExitCosts;
 
-/// Statistics of a network backend.
-#[derive(Debug, Default, Clone)]
-pub struct NetStats {
-    /// TX kicks (queue notifications).
-    pub kicks: u64,
-    /// RX polls.
-    pub polls: u64,
-    /// Interrupts injected.
-    pub irqs: u64,
-    /// Packets moved in either direction.
-    pub packets: u64,
-    /// Halt/wake cycles.
-    pub halts: u64,
-}
-
-/// The VirtIO network backend attached to one container.
-#[derive(Debug)]
-pub struct NetBackend {
-    /// The client fleet, if any.
-    pub load: Option<LoadGen>,
-    /// Exit-class costs of the hosting design.
-    pub exits: ExitCosts,
-    /// Exit-class crossings per TX kick. The traditional virtualization
-    /// stack notifies through MMIO writes (doorbell + status), each of
-    /// which traps; CKI "replaces the MMIOs in the guest kernel (VirtIO
-    /// frontend) with hypercalls" (§5), i.e. one crossing.
-    pub kick_mmio: u32,
-    /// Instruction-emulation work per trapped MMIO (software virtualization
-    /// must decode and emulate the access; hardware VMX reports it in the
-    /// exit qualification).
-    pub mmio_emulation: u64,
-    /// Statistics.
-    pub stats: NetStats,
-    woke_from_halt: bool,
-}
-
-impl NetBackend {
-    /// Creates a backend with the given exit costs and no clients.
-    pub fn new(exits: ExitCosts) -> Self {
-        Self {
-            load: None,
-            exits,
-            kick_mmio: 1,
-            mmio_emulation: 0,
-            stats: NetStats::default(),
-            woke_from_halt: false,
-        }
-    }
-
-    /// Configures the MMIO-based notification path (HVM/PVM frontends).
-    pub fn with_mmio_kick(mut self, mmios: u32, emulation_cycles: u64) -> Self {
-        self.kick_mmio = mmios;
-        self.mmio_emulation = emulation_cycles;
-        self
-    }
-
-    /// Attaches a closed-loop client fleet (0 clients detaches).
-    pub fn with_clients(mut self, clients: u32) -> Self {
-        self.set_clients(clients);
-        self
-    }
-
-    /// In-place variant of [`NetBackend::with_clients`].
-    pub fn set_clients(&mut self, clients: u32) {
-        self.load = if clients == 0 {
-            None
-        } else {
-            Some(LoadGen::new(clients))
-        };
-    }
-
-    /// Guest kicked the TX queue announcing `packets` responses.
-    ///
-    /// Charges the kick exit, host-side queue processing, per-packet device
-    /// work, and the TX-completion interrupt + EOI.
-    pub fn kick(&mut self, clock: &mut Clock, packets: u32) {
-        self.stats.kicks += 1;
-        self.stats.packets += packets as u64;
-        let m = clock.model().clone();
-        clock.charge(
-            Tag::VmExit,
-            self.kick_mmio as u64 * self.exits.roundtrip
-                + self.kick_mmio as u64 * self.mmio_emulation,
-        );
-        clock.charge(
-            Tag::Io,
-            m.virtio_process + m.net_packet * packets as u64 / 4,
-        );
-        // TX completion interrupt + EOI.
-        self.stats.irqs += 1;
-        clock.charge(Tag::Io, self.exits.irq_inject);
-        clock.charge(Tag::VmExit, self.exits.eoi);
-        if let Some(load) = &mut self.load {
-            load.complete(packets);
-        }
-    }
-
-    /// Guest polled the RX queue; returns the number of requests delivered.
-    ///
-    /// A non-empty poll after an idle period implies an RX interrupt woke
-    /// the guest: charge injection + EOI.
-    pub fn poll(&mut self, clock: &mut Clock) -> u32 {
-        self.stats.polls += 1;
-        let m = clock.model().clone();
-        clock.charge(Tag::Io, m.virtio_process);
-        let n = match &mut self.load {
-            Some(load) => load.poll(),
-            None => 0,
-        };
-        if n > 0 {
-            self.stats.packets += n as u64;
-            clock.charge(Tag::Io, m.net_packet * n as u64 / 4);
-            if self.woke_from_halt {
-                // The RX interrupt that woke us, plus its EOI.
-                self.stats.irqs += 1;
-                clock.charge(Tag::Io, self.exits.irq_inject);
-                clock.charge(Tag::VmExit, self.exits.eoi);
-                self.woke_from_halt = false;
-            }
-        }
-        n
-    }
-
-    /// Guest halted waiting for traffic (PV `hlt` hypercall).
-    pub fn halt(&mut self, clock: &mut Clock) {
-        self.stats.halts += 1;
-        clock.charge(Tag::VmExit, self.exits.roundtrip);
-        let c = clock.model().hlt;
-        clock.charge(Tag::Sched, c);
-        self.woke_from_halt = true;
-    }
-}
+pub use netsim::{NetBackend, NetStats};
 
 /// The VirtIO block backend (disk latency model).
 #[derive(Debug)]
@@ -190,39 +53,6 @@ impl BlockBackend {
 mod tests {
     use super::*;
     use sim_hw::CostModel;
-
-    #[test]
-    fn batch_cost_scales_with_exit_class() {
-        let m = CostModel::default();
-        let mut clock_cki = Clock::new(m.clone());
-        let mut clock_nst = Clock::new(m.clone());
-        let mut cki = NetBackend::new(ExitCosts::cki(&m)).with_clients(8);
-        let mut nst = NetBackend::new(ExitCosts::hvm_nested(&m)).with_clients(8);
-
-        for (be, clock) in [(&mut cki, &mut clock_cki), (&mut nst, &mut clock_nst)] {
-            let n = be.poll(clock);
-            assert_eq!(n, 8);
-            be.kick(clock, n);
-            be.halt(clock);
-            let got = be.poll(clock);
-            assert_eq!(got, 8);
-        }
-        assert!(
-            clock_nst.cycles() > 4 * clock_cki.cycles(),
-            "nested exits dominate: {} vs {}",
-            clock_nst.cycles(),
-            clock_cki.cycles()
-        );
-    }
-
-    #[test]
-    fn empty_poll_returns_zero() {
-        let m = CostModel::default();
-        let mut clock = Clock::new(m.clone());
-        let mut be = NetBackend::new(ExitCosts::native(&m));
-        assert_eq!(be.poll(&mut clock), 0);
-        assert_eq!(be.stats.polls, 1);
-    }
 
     #[test]
     fn block_request_charges_device_latency() {

@@ -16,6 +16,7 @@
 //! | [`sqlite`] | sqlite-bench (LevelDB db_bench_sqlite3) | Fig. 5, 14, 15 |
 //! | [`kv`] | memcached / Redis under memtier | Fig. 5, 16 |
 //! | [`iobench`] | nginx, httpd, netperf | Fig. 5 |
+//! | [`serving`] | cross-container serving over virtqueue NICs | Fig. 5, 16 |
 
 pub mod btree;
 pub mod gups;
@@ -24,6 +25,7 @@ pub mod kv;
 pub mod lmbench;
 pub mod parsec;
 pub mod report;
+pub mod serving;
 pub mod sqlite;
 pub mod xsbench;
 

@@ -29,6 +29,9 @@ use std::collections::{HashMap, VecDeque};
 use cki_core::CkiPlatform;
 use guest_os::costs::copy_cycles;
 use guest_os::{Env, Kernel, Sys};
+use netsim::{
+    Coalesce, HostSwitch, Mac, NicBackendKind, NicLayout, NicStats, PortId, SwitchStats, VirtioNic,
+};
 use obs::FlightRecorder;
 use sim_hw::{HwExtensions, Machine, Mode, PcidAllocator, Tag};
 use sim_mem::{Segment, SegmentAllocator, PAGE_SIZE};
@@ -141,6 +144,47 @@ impl StartSpec {
     }
 }
 
+/// Cluster-networking configuration for [`CloudHost::enable_networking`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Virtqueue depth of each container NIC.
+    pub queue: u16,
+    /// Per-port FIFO depth of the vhost switch (the backpressure
+    /// threshold — a full port pushes back instead of dropping).
+    pub switch_depth: usize,
+    /// NAPI-style mitigation knobs applied to every NIC.
+    pub coalesce: Coalesce,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            queue: 32,
+            switch_depth: 64,
+            coalesce: Coalesce::default(),
+        }
+    }
+}
+
+/// Host-side dataplane state: the vhost switch every container NIC plugs
+/// into, plus the global serving-latency sketch the SLO rule watches.
+struct NetPlane {
+    switch: HostSwitch,
+    cfg: NetConfig,
+    request_sketch: obs::SketchId,
+}
+
+/// Dense ids of one container's NIC metric series, plus the last-synced
+/// stats snapshot (registry counters are monotonic, so the NIC's running
+/// totals are published as deltas).
+struct NetSeries {
+    tx: obs::CounterId,
+    rx: obs::CounterId,
+    coalesced: obs::CounterId,
+    requests: obs::SketchId,
+    last: NicStats,
+}
+
 /// One running secure container.
 pub struct Container {
     /// Id on this host.
@@ -157,6 +201,10 @@ pub struct Container {
     /// Per-container invoke counter (registered when observability is on,
     /// so the series can name this container in incident queries).
     invokes: Option<obs::CounterId>,
+    /// Switch port of the container's NIC (networking on only).
+    port: Option<PortId>,
+    /// Per-container NIC metric series (networking on only).
+    net: Option<NetSeries>,
 }
 
 /// What one [`CloudHost::compact`] pass did.
@@ -221,6 +269,8 @@ pub struct CloudHost {
     /// Flight events recorded over the host's lifetime (the obs-overhead
     /// accounting benches report against total cycles).
     flight_records: u64,
+    /// The cluster dataplane, when networking is on.
+    net: Option<NetPlane>,
 }
 
 impl CloudHost {
@@ -291,7 +341,42 @@ impl CloudHost {
             retired_flights: VecDeque::new(),
             stall_begin: None,
             flight_records: 0,
+            net: None,
         })
+    }
+
+    /// Turns the cluster dataplane on: every container started from now on
+    /// gets a CKI virtqueue NIC (rings and buffers in its own delegated
+    /// segment, shared-memory doorbells) attached to the host's vhost
+    /// switch, and completed request round trips reported through
+    /// [`CloudHost::record_request`] feed the `net.request_cycles` sketch
+    /// the serving SLO rule watches.
+    pub fn enable_networking(&mut self, cfg: NetConfig) {
+        if self.net.is_some() {
+            return;
+        }
+        let request_sketch = self.machine.cpu.metrics.sketch("net.request_cycles");
+        self.net = Some(NetPlane {
+            switch: HostSwitch::new(cfg.switch_depth),
+            cfg,
+            request_sketch,
+        });
+    }
+
+    /// Whether the cluster dataplane is on.
+    pub fn networking_enabled(&self) -> bool {
+        self.net.is_some()
+    }
+
+    /// The vhost switch's counters (`None` while networking is off).
+    pub fn switch_stats(&self) -> Option<&SwitchStats> {
+        self.net.as_ref().map(|n| &n.switch.stats)
+    }
+
+    /// The MAC address of container `id`'s NIC (locally administered,
+    /// derived from the id so peers can address each other by id).
+    pub fn container_mac(id: ContainerId) -> Mac {
+        0x0200_0000_0000 | id as u64
     }
 
     /// Turns production observability on: every container started from
@@ -345,7 +430,7 @@ impl CloudHost {
             self.ensure_template(&spec)
                 .and_then(|()| self.start_clone(&spec))
         } else {
-            self.start_cold(&spec)
+            self.start_cold(&spec, true)
         };
         match result {
             Ok(id) => {
@@ -445,8 +530,9 @@ impl CloudHost {
             return Ok(());
         }
         // Boot it as a regular container (so warmup can run inside it),
-        // then retire it into the template registry.
-        let id = self.start_cold(spec)?;
+        // then retire it into the template registry. Templates never
+        // serve, so they get no NIC — clones attach their own.
+        let id = self.start_cold(spec, false)?;
         let c = self.containers.remove(&id).expect("template container");
         self.templates.insert(key, c);
         Ok(())
@@ -491,8 +577,8 @@ impl CloudHost {
 
     /// Full cold boot: platform construction (charged: the host maps the
     /// whole delegated segment into the container's physmap), kernel boot,
-    /// and init warmup.
-    fn start_cold(&mut self, spec: &StartSpec) -> Result<ContainerId, HostError> {
+    /// and init warmup. `with_nic` is false only for template boots.
+    fn start_cold(&mut self, spec: &StartSpec, with_nic: bool) -> Result<ContainerId, HostError> {
         let (seg, pcid) = self.alloc_resources(spec.seg_bytes)?;
         let sp = self.machine.cpu.span_enter("cloud.boot");
         let mark = self.machine.cpu.clock.mark();
@@ -506,10 +592,15 @@ impl CloudHost {
         let physmap =
             pages * model.pte_write + (pages / 512 + 3) * (model.frame_alloc + model.zero_page);
         self.machine.cpu.clock.charge(Tag::Mmu, physmap);
-        let kernel = Kernel::boot(platform, &mut self.machine);
+        let mut kernel = Kernel::boot(platform, &mut self.machine);
 
         let id = self.next_id;
         self.next_id += 1;
+        let (port, net) = if with_nic {
+            self.attach_nic(id, &mut kernel)
+        } else {
+            (None, None)
+        };
         let flight = self.new_flight();
         let invokes = self.register_container_series(id);
         self.containers.insert(
@@ -521,6 +612,8 @@ impl CloudHost {
                 pcid,
                 flight,
                 invokes,
+                port,
+                net,
             },
         );
         self.warmup(id, spec.warmup_pages)?;
@@ -555,6 +648,144 @@ impl CloudHost {
                 .metrics
                 .counter_owned("cloud.invokes_per_container", format!("c{id}")),
         )
+    }
+
+    /// Gives a new container its NIC: ring and buffer frames allocated
+    /// from the container's own delegated segment, a CKI shared-memory
+    /// doorbell (zero-exit — the vhost worker reads the avail index
+    /// through its KSM-owned mapping), and a port on the vhost switch.
+    /// Also registers the per-container NIC series (owned-label API) so
+    /// incident flight dumps and metric snapshots can name the
+    /// container's net state. No-op while networking is off.
+    fn attach_nic(
+        &mut self,
+        id: ContainerId,
+        kernel: &mut Kernel,
+    ) -> (Option<PortId>, Option<NetSeries>) {
+        let Some(net) = self.net.as_mut() else {
+            return (None, None);
+        };
+        let need = NicLayout::frames_needed(net.cfg.queue);
+        let mut frames = Vec::with_capacity(need);
+        for _ in 0..need {
+            frames.push(
+                kernel
+                    .platform
+                    .alloc_frame(&mut self.machine)
+                    .expect("NIC ring frames from the delegated segment"),
+            );
+        }
+        let layout = NicLayout::from_frames(net.cfg.queue, &frames);
+        let mac = Self::container_mac(id);
+        let nic = VirtioNic::for_backend(
+            &mut self.machine.mem,
+            &mut self.machine.cpu.clock,
+            layout,
+            mac,
+            NicBackendKind::Cki,
+            net.cfg.coalesce,
+        );
+        kernel.attach_netif(nic);
+        let port = net.switch.attach(mac);
+        let m = &mut self.machine.cpu.metrics;
+        let series = NetSeries {
+            tx: m.counter_owned("net.tx_frames", format!("c{id}")),
+            rx: m.counter_owned("net.rx_frames", format!("c{id}")),
+            coalesced: m.counter_owned("net.coalesced_kicks", format!("c{id}")),
+            requests: m.sketch_owned("net.request_cycles", format!("c{id}")),
+            last: NicStats::default(),
+        };
+        (Some(port), Some(series))
+    }
+
+    /// One vhost service pass over every networked container, in container
+    /// id order: phase A drains each NIC's TX ring into the switch
+    /// (learning source MACs, backpressuring on full port FIFOs instead of
+    /// dropping), phase B delivers each port's queued frames into its
+    /// owner's RX ring and flushes the coalesced interrupt. Returns the
+    /// number of frames moved; the per-container NIC counters are synced
+    /// afterwards so a snapshot taken between passes is current.
+    pub fn net_service(&mut self) -> u64 {
+        let Some(net) = self.net.as_mut() else {
+            return 0;
+        };
+        let mut ids: Vec<ContainerId> = self.containers.keys().copied().collect();
+        ids.sort_unstable();
+        let mut moved = 0u64;
+        for &id in &ids {
+            let c = self.containers.get_mut(&id).expect("listed container");
+            let (Some(port), Some(nic)) = (c.port, c.kernel.netif_mut()) else {
+                continue;
+            };
+            moved += netsim::drain_tx(
+                &mut self.machine.mem,
+                &mut self.machine.cpu.clock,
+                nic,
+                &mut net.switch,
+                port,
+            ) as u64;
+        }
+        for &id in &ids {
+            let c = self.containers.get_mut(&id).expect("listed container");
+            let (Some(port), Some(nic)) = (c.port, c.kernel.netif_mut()) else {
+                continue;
+            };
+            moved += netsim::deliver_rx(
+                &mut self.machine.mem,
+                &mut self.machine.cpu.clock,
+                nic,
+                &mut net.switch,
+                port,
+            ) as u64;
+        }
+        self.sync_net_counters();
+        moved
+    }
+
+    /// Publishes each networked container's NIC statistics into its
+    /// per-container counters as deltas since the last sync.
+    fn sync_net_counters(&mut self) {
+        let metrics = &mut self.machine.cpu.metrics;
+        for c in self.containers.values_mut() {
+            let Some(series) = c.net.as_mut() else {
+                continue;
+            };
+            let Some(nic) = c.kernel.netif() else {
+                continue;
+            };
+            let s = nic.stats.clone();
+            metrics.add(series.tx, s.tx_frames - series.last.tx_frames);
+            metrics.add(series.rx, s.rx_frames - series.last.rx_frames);
+            metrics.add(
+                series.coalesced,
+                s.coalesced_kicks - series.last.coalesced_kicks,
+            );
+            series.last = s;
+        }
+    }
+
+    /// Records one completed request/response round trip served by
+    /// container `id`: the global `net.request_cycles` sketch (what the
+    /// serving SLO rule watches), the container's own request sketch,
+    /// worst-offender tracking for incident attribution, and the
+    /// container's flight ring. Ticks the watchdog.
+    pub fn record_request(&mut self, id: ContainerId, cycles: u64) {
+        let Some(net) = self.net.as_ref() else {
+            return;
+        };
+        let global = net.request_sketch;
+        self.machine.cpu.metrics.record(global, cycles);
+        if let Some(sk) = self
+            .containers
+            .get(&id)
+            .and_then(|c| c.net.as_ref())
+            .map(|n| n.requests)
+        {
+            self.machine.cpu.metrics.record(sk, cycles);
+        }
+        self.note_worst("net.request_cycles", cycles, id);
+        self.flight_note(id, "net.request", cycles);
+        self.tick_watchdog();
     }
 
     /// Attributes a start's cycle cost to its container as an owned-label
@@ -597,7 +828,7 @@ impl CloudHost {
         let report = cki.adopt_from(&mut self.machine, tmpl_cki);
         let old_start = tmpl.seg.start;
         let new_start = seg.start;
-        let kernel = tmpl
+        let mut kernel = tmpl
             .kernel
             .clone_with_platform(platform, move |pa| new_start + (pa - old_start));
 
@@ -612,6 +843,10 @@ impl CloudHost {
 
         let id = self.next_id;
         self.next_id += 1;
+        // The template has no NIC (its rings would be snapshotted at stale
+        // physical addresses); each clone attaches a fresh one here, after
+        // the frame-allocator cursor was adopted from the template.
+        let (port, net) = self.attach_nic(id, &mut kernel);
         let flight = self.new_flight();
         let invokes = self.register_container_series(id);
         self.containers.insert(
@@ -623,6 +858,8 @@ impl CloudHost {
                 pcid,
                 flight,
                 invokes,
+                port,
+                net,
             },
         );
 
@@ -676,10 +913,21 @@ impl CloudHost {
     /// Stops a container, reclaiming its segment, PCID, and every host
     /// frame its monitor state occupied.
     pub fn stop_container(&mut self, id: ContainerId) -> Result<(), HostError> {
+        if self.containers.contains_key(&id) {
+            // Final sync so the container's NIC totals survive its NIC.
+            self.sync_net_counters();
+        }
         let mut c = self
             .containers
             .remove(&id)
             .ok_or(HostError::NoSuchContainer)?;
+        // Unplug the dataplane first: the NIC's rings live in the segment
+        // being reclaimed, and the switch must stop forwarding to the port
+        // (queued frames for it are counted as dropped_dead_port).
+        c.kernel.take_netif();
+        if let (Some(port), Some(net)) = (c.port, self.net.as_mut()) {
+            net.switch.detach(port);
+        }
         self.machine.cpu.tlb.flush_pcid(c.pcid);
         if let Some(p) = c.kernel.platform.as_any_mut().downcast_mut::<CkiPlatform>() {
             p.teardown(&mut self.machine);
@@ -758,6 +1006,13 @@ impl CloudHost {
             let (old_start, new_start) = (old.start, new.start);
             c.kernel
                 .rebase_frames(move |pa| new_start + (pa - old_start));
+            // The NIC's rings, posted descriptors, and buffer slots moved
+            // with the segment.
+            c.kernel.rebase_netif(
+                &mut self.machine.mem,
+                &mut self.machine.cpu.clock,
+                new_start as i64 - old_start as i64,
+            );
             c.seg = new;
 
             let cycles =
@@ -1134,6 +1389,149 @@ mod tests {
         assert!(!incidents.is_empty(), "gauge rule should have fired");
         assert_eq!(incidents[0].rule, "pcid_free");
         assert!(incidents[0].observed < 4092);
+    }
+
+    /// Drives one request/response round trip from `client` to a server
+    /// socket on `server`, returning the request's payload hash as seen on
+    /// both ends.
+    fn roundtrip(h: &mut CloudHost, server: ContainerId, client: ContainerId) -> (u64, u64) {
+        use guest_os::Fd;
+        let srv_mac = CloudHost::container_mac(server);
+        let (sfd, sbuf) = h
+            .enter(server, |env| {
+                let buf = env.mmap(PAGE_SIZE).unwrap();
+                let fd = env.sys(Sys::NetSocket).unwrap() as Fd;
+                env.sys(Sys::NetListen { fd, port: 80 }).unwrap();
+                (fd, buf)
+            })
+            .unwrap();
+        let (cfd, cbuf) = h
+            .enter(client, |env| {
+                let buf = env.mmap(PAGE_SIZE).unwrap();
+                let fd = env.sys(Sys::NetSocket).unwrap() as Fd;
+                env.sys(Sys::NetConnect {
+                    fd,
+                    mac: srv_mac,
+                    port: 80,
+                })
+                .unwrap();
+                (fd, buf)
+            })
+            .unwrap();
+        let sent = h
+            .enter(client, |env| {
+                let hash = env
+                    .sys(Sys::NetSend {
+                        fd: cfd,
+                        buf: cbuf,
+                        len: 200,
+                    })
+                    .unwrap();
+                env.sys(Sys::NetFlush { fd: cfd }).unwrap();
+                hash
+            })
+            .unwrap();
+        assert!(h.net_service() >= 1, "request crosses the switch");
+        let got = h
+            .enter(server, |env| {
+                let who = env.sys(Sys::NetAccept { fd: sfd }).unwrap();
+                assert_eq!(who & 0xffff, 49152, "client's first ephemeral port");
+                let got = env
+                    .sys(Sys::NetRecv {
+                        fd: sfd,
+                        buf: sbuf,
+                        len: 2048,
+                    })
+                    .unwrap();
+                env.sys(Sys::NetSend {
+                    fd: sfd,
+                    buf: sbuf,
+                    len: 64,
+                })
+                .unwrap();
+                env.sys(Sys::NetFlush { fd: sfd }).unwrap();
+                got
+            })
+            .unwrap();
+        h.net_service();
+        let resp = h
+            .enter(client, |env| {
+                env.sys(Sys::NetRecv {
+                    fd: cfd,
+                    buf: cbuf,
+                    len: 2048,
+                })
+                .unwrap()
+            })
+            .unwrap();
+        assert_ne!(resp, 0, "response payload hash");
+        (sent, got)
+    }
+
+    #[test]
+    fn cross_container_serving_roundtrip() {
+        let mut h = host();
+        h.enable_observability(64, crate::slo::SloWatchdog::cloud_default(100_000));
+        h.enable_networking(NetConfig::default());
+        let server = h.start_container(64 * MIB).unwrap();
+        let client = h.start_container(64 * MIB).unwrap();
+
+        let mark = h.machine.cpu.clock.mark();
+        let (sent, got) = roundtrip(&mut h, server, client);
+        assert_eq!(sent, got, "payload hash survives the dataplane");
+        let cycles = h.machine.cpu.clock.since(mark);
+        h.record_request(server, cycles);
+
+        let m = &h.machine.cpu.metrics;
+        assert!(m.value_of("net.tx_frames", Some(&format!("c{client}"))) >= 1);
+        assert!(m.value_of("net.rx_frames", Some(&format!("c{server}"))) >= 1);
+        let sk = m.sketch_id_of("net.request_cycles", None).unwrap();
+        assert_eq!(m.sketch_count(sk), 1);
+        let sw = h.switch_stats().unwrap();
+        assert!(sw.forwarded >= 2, "request + response forwarded");
+        assert_eq!(sw.dropped_unknown_dst + sw.dropped_dead_port, 0);
+    }
+
+    #[test]
+    fn serving_slo_rule_fires_on_budget_breach() {
+        use crate::slo::SloWatchdog;
+        let mut h = host();
+        let wd = SloWatchdog::new(1).with_rule(SloWatchdog::serving_p99(10_000));
+        h.enable_observability(16, wd);
+        h.enable_networking(NetConfig::default());
+        let id = h.start_container(64 * MIB).unwrap();
+        for _ in 0..20 {
+            h.record_request(id, 50_000);
+        }
+        let incidents = h.incidents();
+        assert!(!incidents.is_empty(), "p99 over budget must breach");
+        assert_eq!(incidents[0].rule, "serving_p99");
+        assert_eq!(incidents[0].container, Some(id));
+        assert!(incidents[0].flight_dump.is_some());
+    }
+
+    #[test]
+    fn nics_survive_compaction_and_stop_detaches_port() {
+        let mut h = CloudHost::new(4096 * MIB, 512 * MIB);
+        h.enable_networking(NetConfig::default());
+        let small = 128 * MIB;
+        let mut ids = Vec::new();
+        while h.free_bytes() >= small {
+            match h.start_container(small) {
+                Ok(id) => ids.push(id),
+                Err(_) => break,
+            }
+        }
+        assert!(ids.len() >= 4);
+        for &id in ids.iter().step_by(2) {
+            h.stop_container(id).unwrap();
+        }
+        let report = h.compact();
+        assert!(report.moved > 0);
+        // Survivors' NIC rings moved with their segments; a full
+        // request/response round trip still works between two of them.
+        let (sent, got) = roundtrip(&mut h, ids[1], ids[3]);
+        assert_eq!(sent, got, "dataplane intact after migration");
     }
 
     #[test]

@@ -40,10 +40,11 @@ pub mod slo;
 
 pub use cki_core;
 pub use cloud::{
-    CloudHost, CompactionReport, Container, ContainerId, HostError, StartSpec,
+    CloudHost, CompactionReport, Container, ContainerId, HostError, NetConfig, StartSpec,
     CLONE_ACTIVATE_CYCLES, FLIGHT_RECORD_CYCLES, MIGRATE_FIXED_CYCLES, WATCHDOG_TICK_CYCLES,
 };
 pub use guest_os;
+pub use netsim;
 pub use obs;
 pub use sim_hw;
 pub use sim_mem;
@@ -127,6 +128,23 @@ impl Backend {
                 | Backend::CkiWoOpt3
                 | Backend::CkiGateMitigated
         )
+    }
+
+    /// The virtqueue-NIC flavor this backend notifies through — i.e. what
+    /// a doorbell costs it (shared-memory write, MMIO trap, hypercall).
+    pub fn nic_kind(&self) -> netsim::NicBackendKind {
+        match self {
+            Backend::RunC | Backend::Gvisor | Backend::LibOs => netsim::NicBackendKind::Native,
+            Backend::HvmBm | Backend::HvmBm2M => netsim::NicBackendKind::HvmBm,
+            Backend::HvmNested => netsim::NicBackendKind::HvmNested,
+            Backend::Pvm => netsim::NicBackendKind::Pvm,
+            Backend::PvmNested => netsim::NicBackendKind::PvmNested,
+            Backend::Cki
+            | Backend::CkiNested
+            | Backend::CkiWoOpt2
+            | Backend::CkiWoOpt3
+            | Backend::CkiGateMitigated => netsim::NicBackendKind::Cki,
+        }
     }
 
     /// Builds this backend's platform on `machine` — the *single*

@@ -210,6 +210,22 @@ impl SloWatchdog {
             })
     }
 
+    /// The serving-latency rule for a networked host: the p99 of
+    /// cross-container request round trips ([`crate::CloudHost::record_request`],
+    /// feeding the `net.request_cycles` sketch) must stay under an
+    /// absolute cycle budget. Inert until networking is enabled and the
+    /// sketch holds [`SloWatchdog::min_samples`] observations.
+    pub fn serving_p99(budget_cycles: u64) -> SloRule {
+        SloRule {
+            name: "serving_p99",
+            kind: RuleKind::QuantileUnder {
+                sketch: "net.request_cycles",
+                q: 0.99,
+                budget: Budget::Cycles(budget_cycles),
+            },
+        }
+    }
+
     /// The registered rules.
     pub fn rules(&self) -> &[SloRule] {
         &self.rules
